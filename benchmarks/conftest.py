@@ -1,0 +1,58 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one paper figure on the simulator and
+prints a paper-vs-measured table (run pytest with ``-s`` to see them;
+they are also appended to ``benchmarks/results.txt``).
+"""
+
+import os
+
+import pytest
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+class FigureReport:
+    """Collects and emits one figure's paper-vs-measured rows."""
+
+    def __init__(self, figure, title):
+        self.figure = figure
+        self.title = title
+        self.lines = ["", "%s — %s" % (figure.upper(), title),
+                      "-" * 64]
+
+    def row(self, label, measured, paper=None, unit=""):
+        if paper is None:
+            self.lines.append("  %-38s %12s %s" % (label, measured, unit))
+        else:
+            self.lines.append(
+                "  %-38s measured %10s   paper %10s %s"
+                % (label, measured, paper, unit))
+
+    def series(self, label, pairs, unit=""):
+        text = ", ".join("%s:%s" % (k, v) for k, v in pairs)
+        self.lines.append("  %-18s [%s] %s" % (label, text, unit))
+
+    def note(self, text):
+        self.lines.append("  note: %s" % text)
+
+    def emit(self):
+        report = "\n".join(self.lines)
+        print(report)
+        with open(RESULTS_PATH, "a") as fh:
+            fh.write(report + "\n")
+
+
+@pytest.fixture
+def report(request):
+    """A per-test FigureReport, emitted automatically at teardown."""
+    name = request.node.name
+    rep = FigureReport(name.replace("test_", ""), request.node.nodeid)
+    yield rep
+    rep.emit()
+
+
+def fmt(value, digits=2):
+    if isinstance(value, float):
+        return ("%."+str(digits)+"f") % value
+    return str(value)

@@ -1,0 +1,132 @@
+"""Section 6 (Discussion): how the guidelines fare on future hardware.
+
+The paper speculates about design changes: a larger XPBuffer / WPQ
+(weakening guidelines #1 and #3), extending the ADR down to the caches
+(removing the flush requirement), Memory Mode's DRAM cache masking the
+pathologies, and battery-backed DRAM making most guidelines moot.
+Each speculation is runnable here.
+"""
+
+from benchmarks.conftest import fmt
+from repro._units import KIB
+from repro.lattester.bandwidth import measure_bandwidth
+from repro.sim import Machine, MachineConfig, make_memory_mode_namespace
+
+
+def test_discussion_bigger_xpbuffer(benchmark, report):
+    """4x XPBuffer: small-store locality window grows, contention fades."""
+
+    def run():
+        base = measure_bandwidth(kind="optane-ni", op="ntstore",
+                                 threads=8, per_thread=64 * KIB)
+        cfg = MachineConfig()
+        cfg.xpbuffer.sets = 64          # 64 KB buffer, same ways
+        big = measure_bandwidth(kind="optane-ni", op="ntstore",
+                                threads=8, per_thread=64 * KIB,
+                                machine=Machine(cfg))
+        return base, big
+
+    base, big = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.row("8-writer EWR, 16 KB buffer", fmt(base.ewr), 0.62)
+    report.row("8-writer EWR, 64 KB buffer", fmt(big.ewr), "recovers")
+    assert big.ewr > base.ewr + 0.2
+    assert big.gbps > base.gbps
+
+
+def test_discussion_eadr_removes_flush_requirement(benchmark, report):
+    """Extended ADR: plain stores are durable; flushes become optional."""
+
+    def run():
+        cfg = MachineConfig()
+        cfg.cache.eadr = True
+        m = Machine(cfg)
+        ns = m.namespace("optane")
+        t = m.thread()
+        ns.store(t, 0, 4096, data=b"A" * 4096)     # no flush, no fence
+        m.power_fail()
+        return ns.read_persistent(0, 4096)
+
+    survived = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.row("unflushed 4 KB store after crash",
+               "intact" if survived == b"A" * 4096 else "lost",
+               "intact under eADR")
+    assert survived == b"A" * 4096
+
+
+def test_discussion_memory_mode_masks_pathologies(benchmark, report):
+    """Memory Mode: the DRAM cache hides the small-store penalty."""
+
+    def run():
+        import random
+        from repro._units import CACHELINE, MIB, gb_per_s
+        from repro.sim import run_workloads
+
+        def random_64b_rmw(make_ns):
+            # Working set past the (shrunk) CPU cache but inside the
+            # DRAM near-cache: every op misses the LLC, so Memory Mode
+            # serves it from DRAM while App Direct goes to the media.
+            cfg = MachineConfig()
+            cfg.cache.capacity_bytes = 256 * KIB
+            m = Machine(cfg)
+            ns = make_ns(m)
+            ts = m.threads(2)
+            span = 1 * MIB
+
+            def worker(t, measure):
+                rng = random.Random(t.tid)
+                base = t.tid * 2 * MIB
+                for _ in range(span // CACHELINE // 2):
+                    addr = base + rng.randrange(span // CACHELINE) \
+                        * CACHELINE
+                    ns.load(t, addr)
+                    ns.store(t, addr)
+                    ns.clwb(t, addr)
+                    yield
+                t.sfence()
+
+            run_workloads([(t, worker(t, False)) for t in ts])  # warm
+            start = max(t.now for t in ts)
+            for t in ts:
+                t.now = start
+            elapsed = run_workloads(
+                [(t, worker(t, True)) for t in ts]) - start
+            return gb_per_s(2 * (span // 2), elapsed)
+
+        app_direct = random_64b_rmw(lambda m: m.namespace("optane"))
+        mem_mode = random_64b_rmw(make_memory_mode_namespace)
+        return app_direct, mem_mode
+
+    app_direct, mem_mode = benchmark.pedantic(run, rounds=1, iterations=1)
+    report.row("64 B random writes, App Direct", fmt(app_direct),
+               "XPLine-penalised", "GB/s")
+    report.row("64 B random writes, Memory Mode", fmt(mem_mode),
+               "DRAM-cached", "GB/s")
+    assert mem_mode > 1.5 * app_direct
+
+
+def test_discussion_battery_backed_dram(benchmark, report):
+    """Battery-backed DRAM: no XPLine, no EWR, no buffer — most
+    guidelines are unnecessary (only bulk ntstore still helps)."""
+
+    def run():
+        small = measure_bandwidth(kind="dram-ni", op="ntstore", threads=1,
+                                  access=64, pattern="rand",
+                                  per_thread=64 * KIB)
+        full = measure_bandwidth(kind="dram-ni", op="ntstore", threads=1,
+                                 access=256, pattern="rand",
+                                 per_thread=64 * KIB)
+        many = measure_bandwidth(kind="dram-ni", op="ntstore", threads=8,
+                                 per_thread=64 * KIB)
+        one = measure_bandwidth(kind="dram-ni", op="ntstore", threads=1,
+                                per_thread=64 * KIB)
+        return small, full, many, one
+
+    small, full, many, one = benchmark.pedantic(run, rounds=1,
+                                                iterations=1)
+    report.row("64 B vs 256 B random writes",
+               "%s vs %s" % (fmt(small.gbps), fmt(full.gbps)),
+               "no 256 B knee")
+    report.row("8 threads vs 1", "%s vs %s"
+               % (fmt(many.gbps), fmt(one.gbps)), "no writer collapse")
+    assert small.gbps > 0.7 * full.gbps       # guideline 1 moot
+    assert many.gbps >= one.gbps              # guideline 3 moot

@@ -1,0 +1,31 @@
+"""Figure 2: best-case (idle) latency.
+
+Paper: DRAM read 81/101 ns (seq/rand), Optane 169/305 ns; fenced
+store+clwb 57/62 ns and ntstore+fence 86/90 ns (DRAM/Optane).
+"""
+
+from benchmarks.conftest import fmt
+from repro.lattester.latency import figure2
+
+PAPER = {
+    ("dram", "read-seq"): 81, ("dram", "read-rand"): 101,
+    ("optane", "read-seq"): 169, ("optane", "read-rand"): 305,
+    ("dram", "write-clwb"): 57, ("optane", "write-clwb"): 62,
+    ("dram", "write-ntstore"): 86, ("optane", "write-ntstore"): 90,
+}
+
+
+def test_fig02_idle_latency(benchmark, report):
+    results = benchmark.pedantic(figure2, rounds=1, iterations=1)
+    for key, target in PAPER.items():
+        measured = results[key].mean_ns
+        report.row("%s %s" % key, fmt(measured, 1), target, "ns")
+        assert abs(measured - target) <= 0.15 * target
+    # Shape: Optane's random/sequential read gap far exceeds DRAM's.
+    opt_gap = results["optane", "read-rand"].mean_ns / \
+        results["optane", "read-seq"].mean_ns
+    dram_gap = results["dram", "read-rand"].mean_ns / \
+        results["dram", "read-seq"].mean_ns
+    report.row("optane rand/seq gap", fmt(opt_gap), "1.8x")
+    report.row("dram rand/seq gap", fmt(dram_gap), "1.2x")
+    assert opt_gap > 1.5 > dram_gap

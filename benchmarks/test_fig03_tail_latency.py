@@ -1,0 +1,33 @@
+"""Figure 3: tail latency vs hotspot size.
+
+Paper: rare (~0.006 %) write stalls of up to ~50 us, most visible at
+small hotspots; 99.99th percentile falls as the hotspot grows while
+the maximum stays high.
+"""
+
+from benchmarks.conftest import fmt
+from repro._units import KIB, MIB
+from repro.lattester.tail import figure3
+
+HOTSPOTS = (256, 2 * KIB, 16 * KIB, 128 * KIB, 1 * MIB, 8 * MIB)
+
+
+def test_fig03_tail_latency(benchmark, report):
+    results = benchmark.pedantic(
+        figure3, kwargs={"hotspots": HOTSPOTS, "ops": 60000},
+        rounds=1, iterations=1)
+    for r in results:
+        report.row(
+            "hotspot %7d B" % r.hotspot_bytes,
+            "p9999=%sus p99999=%sus max=%sus" % (
+                fmt(r.p9999_ns / 1000, 1), fmt(r.p99999_ns / 1000, 1),
+                fmt(r.max_ns / 1000, 1)),
+            "max ~50us, falling tails")
+    small, large = results[0], results[-1]
+    assert small.max_ns > 45_000                 # ~50 us outliers exist
+    assert small.p9999_ns > large.p9999_ns       # tails fall with size
+    assert small.outliers > large.outliers
+    rate = small.outliers / small.samples
+    report.row("small-hotspot outlier rate", fmt(100 * rate, 4),
+               "0.006", "%")
+    assert rate < 0.01

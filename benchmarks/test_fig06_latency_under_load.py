@@ -1,0 +1,60 @@
+"""Figure 6: latency under load.
+
+Paper: the latency/bandwidth curve hits its queueing "wall" far
+earlier for Optane than DRAM, and Optane is much more
+pattern-sensitive than DRAM.
+"""
+
+from benchmarks.conftest import fmt
+from repro._units import KIB
+from repro.lattester.load import latency_bandwidth_curve
+
+DELAYS = (0, 50, 150, 400, 1200, 3200)
+
+
+def run():
+    out = {}
+    for kind, pattern in (("dram", "seq"), ("dram", "rand"),
+                          ("optane", "seq"), ("optane", "rand")):
+        out[kind, pattern, "read"] = latency_bandwidth_curve(
+            kind, "read", threads=16, pattern=pattern, delays=DELAYS,
+            per_thread=32 * KIB)
+    for kind in ("dram", "optane"):
+        out[kind, "seq", "ntstore"] = latency_bandwidth_curve(
+            kind, "ntstore", threads=4, pattern="seq", delays=DELAYS,
+            per_thread=32 * KIB)
+    return out
+
+
+def test_fig06_latency_under_load(benchmark, report):
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    for key, pts in curves.items():
+        report.series("%s %s %s" % key,
+                      [(fmt(p.bandwidth_gbps, 1), fmt(p.latency_ns, 0))
+                       for p in pts], "(GB/s, ns)")
+
+    def peak_bw(key):
+        return max(p.bandwidth_gbps for p in curves[key])
+
+    def idle_lat(key):
+        return curves[key][-1].latency_ns
+
+    def loaded_lat(key):
+        return curves[key][0].latency_ns
+
+    # The wall: max bandwidth under load is far lower for Optane.
+    assert peak_bw(("dram", "seq", "read")) > \
+        2 * peak_bw(("optane", "seq", "read"))
+    # Latency rises toward the wall.
+    assert loaded_lat(("optane", "seq", "read")) > \
+        idle_lat(("optane", "seq", "read"))
+    # Pattern sensitivity: Optane's random curve sits well above its
+    # sequential one; DRAM's two curves nearly coincide.
+    opt_gap = idle_lat(("optane", "rand", "read")) / \
+        idle_lat(("optane", "seq", "read"))
+    dram_gap = idle_lat(("dram", "rand", "read")) / \
+        idle_lat(("dram", "seq", "read"))
+    report.row("optane rand/seq latency gap", fmt(opt_gap), ">1.5")
+    report.row("dram rand/seq latency gap", fmt(dram_gap), "~1.2")
+    assert opt_gap > 1.4
+    assert dram_gap < 1.35

@@ -1,0 +1,55 @@
+"""Figure 7: microbenchmarks under emulation.
+
+Paper: none of the emulation mechanisms (plain DRAM, remote-socket
+DRAM, PMEP) tracks real Optane — they miss its bandwidth, latency,
+asymmetry and pattern sensitivity, in different directions.
+"""
+
+from benchmarks.conftest import fmt
+from repro._units import KIB
+from repro.emulation.study import mix_bandwidth, write_latency_bandwidth
+
+METHODS = ("optane", "dram", "dram-remote", "pmep")
+
+
+def run():
+    curves = {m: write_latency_bandwidth(m, threads=4,
+                                         per_thread=128 * KIB)
+              for m in METHODS}
+    mixes = {
+        m: {
+            "All Rd.": mix_bandwidth(m, 1.0, threads=8,
+                                     per_thread=32 * KIB),
+            "1:1": mix_bandwidth(m, 0.5, threads=8,
+                                 per_thread=32 * KIB),
+            "All Wr.": mix_bandwidth(m, 0.0, threads=8,
+                                     per_thread=32 * KIB),
+        }
+        for m in METHODS
+    }
+    return curves, mixes
+
+
+def test_fig07_emulation(benchmark, report):
+    curves, mixes = benchmark.pedantic(run, rounds=1, iterations=1)
+    for m in METHODS:
+        bw, lat = curves[m]
+        report.row("%s seq-write" % m,
+                   "%s GB/s @ %s ns" % (fmt(bw, 1), fmt(lat, 0)),
+                   "emulators disagree")
+        report.series("%s mixes" % m,
+                      [(k, fmt(v, 1)) for k, v in mixes[m].items()],
+                      "GB/s")
+    optane_bw, optane_lat = curves["optane"]
+    # Every emulator misses Optane by a wide margin on at least one axis.
+    for m in ("dram", "dram-remote", "pmep"):
+        bw, lat = curves[m]
+        bw_err = abs(bw - optane_bw) / optane_bw
+        lat_err = abs(lat - optane_lat) / optane_lat
+        assert max(bw_err, lat_err) > 0.25, m
+    # Plain DRAM is wildly optimistic on write bandwidth.
+    assert curves["dram"][0] > 1.8 * optane_bw
+    # PMEP throttles writes below real Optane.
+    assert curves["pmep"][0] < optane_bw
+    # Optane's mixed-traffic bandwidth sits below its pure-read.
+    assert mixes["optane"]["1:1"] < mixes["optane"]["All Rd."]

@@ -1,0 +1,35 @@
+"""Figure 8: migrating RocksDB to 3D XPoint memory.
+
+Paper: with DRAM standing in for persistent memory, the persistent
+memtable wins (+19 % over FLEX); on real 3D XPoint the conclusion
+flips and the FLEX WAL wins (+10 %).  Emulation inverts the design
+decision.
+"""
+
+from benchmarks.conftest import fmt
+from repro.kvstore.study import figure8
+
+OPS = 16000
+
+
+def test_fig08_rocksdb(benchmark, report):
+    results = benchmark.pedantic(
+        figure8, kwargs={"ops": OPS}, rounds=1, iterations=1)
+    for (kind, mode), r in sorted(results.items()):
+        report.row("%s %s" % (kind, mode), fmt(r.kops_per_sec, 0),
+                   "300-600", "KOps/s")
+    dram_flex = results["dram", "wal-flex"].kops_per_sec
+    dram_skip = results["dram", "persistent-memtable"].kops_per_sec
+    opt_flex = results["optane", "wal-flex"].kops_per_sec
+    opt_skip = results["optane", "persistent-memtable"].kops_per_sec
+
+    report.row("DRAM: pskip/flex", fmt(dram_skip / dram_flex),
+               "1.19", "x")
+    report.row("Optane: flex/pskip", fmt(opt_flex / opt_skip),
+               "1.10", "x")
+    # The inversion: persistent memtable wins on DRAM, FLEX on Optane.
+    assert dram_skip > 1.03 * dram_flex
+    assert opt_flex > 1.03 * opt_skip
+    # POSIX logging trails FLEX everywhere.
+    assert results["optane", "wal-posix"].kops_per_sec < opt_flex
+    assert results["dram", "wal-posix"].kops_per_sec < dram_flex

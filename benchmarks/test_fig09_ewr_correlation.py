@@ -1,0 +1,39 @@
+"""Figure 9: EWR vs device bandwidth on a single DIMM.
+
+Paper: across a sweep of access size x thread count x power budget,
+device bandwidth correlates strongly with EWR (ntstore r^2 = 0.97,
+slope ~1); maximizing EWR maximizes bandwidth.
+"""
+
+from benchmarks.conftest import fmt
+from repro._units import KIB
+from repro.lattester.ewr import correlation, figure9_sweep
+
+
+def run():
+    return figure9_sweep(
+        ops=("ntstore", "clwb"),
+        accesses=(64, 128, 256, 1024, 4096),
+        thread_counts=(1, 2, 4, 8),
+        power_budgets=(1.0, 0.7),
+        per_thread=64 * KIB)
+
+
+def test_fig09_ewr_correlation(benchmark, report):
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    for op, pts in points.items():
+        slope, r2 = correlation(pts)
+        report.row("%s: r^2" % op, fmt(r2),
+                   {"ntstore": 0.97, "clwb": 0.74}.get(op, ""))
+        report.row("%s: slope" % op, fmt(slope),
+                   {"ntstore": 1.03, "clwb": 0.67}.get(op, ""), "GB/s/EWR")
+        assert slope > 0
+    nt_slope, nt_r2 = correlation(points["ntstore"])
+    assert nt_r2 > 0.6
+    assert 0.5 <= nt_slope <= 4.0
+    # EWR spans the full range across the sweep.
+    ewrs = [p.ewr for p in points["ntstore"] if p.ewr != float("inf")]
+    report.row("EWR range", "%s..%s" % (fmt(min(ewrs)), fmt(max(ewrs))),
+               "0.25..1.0")
+    assert min(ewrs) < 0.35
+    assert max(ewrs) > 0.9

@@ -1,0 +1,30 @@
+"""Figure 10: inferring the XPBuffer capacity.
+
+Paper: write amplification stays ~1 while the probed region holds at
+most 64 XPLines (16 KB) and jumps to ~2 beyond — the buffer combines
+across exactly its capacity.
+"""
+
+from benchmarks.conftest import fmt
+from repro.lattester.xpbuffer_probe import figure10, inferred_buffer_lines
+
+REGIONS = (8, 16, 32, 48, 64, 80, 96, 128, 256, 1024)
+
+
+def test_fig10_xpbuffer_probe(benchmark, report):
+    points = benchmark.pedantic(
+        figure10, kwargs={"region_sizes": REGIONS, "rounds": 3},
+        rounds=1, iterations=1)
+    for p in points:
+        report.row("region %4d XPLines (%6d B)"
+                   % (p.xplines, p.region_bytes),
+                   fmt(p.write_amplification), "1.0 below 64, ~2 above",
+                   "WA")
+    inferred = inferred_buffer_lines(points)
+    report.row("inferred XPBuffer capacity", inferred * 256,
+               16384, "bytes")
+    assert inferred == 64
+    below = [p for p in points if p.xplines <= 64]
+    above = [p for p in points if p.xplines > 64]
+    assert all(p.write_amplification < 1.2 for p in below)
+    assert all(p.write_amplification > 1.6 for p in above)

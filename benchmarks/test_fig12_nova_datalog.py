@@ -1,0 +1,47 @@
+"""Figure 12: file-IO latency with NOVA-datalog.
+
+Paper: NOVA-datalog speeds up 64 B / 256 B random overwrites by
+7x / 6.5x over stock NOVA, meeting or beating the DAX file systems
+(which give no data consistency); read latency rises only slightly;
+the fsync-per-write DAX variants are the slowest by far.
+"""
+
+from benchmarks.conftest import fmt
+from repro.fs.study import FIG12_SYSTEMS, figure12
+
+
+def test_fig12_nova_datalog(benchmark, report):
+    results = benchmark.pedantic(
+        figure12, kwargs={"ops": 250}, rounds=1, iterations=1)
+    for system in FIG12_SYSTEMS:
+        row = []
+        for op, size in (("overwrite", 64), ("overwrite", 256),
+                         ("read", 4096)):
+            row.append("%s%s=%sus" % (op[:2], size,
+                                      fmt(results[system, op, size]
+                                          .mean_ns / 1000, 2)))
+        report.row(system, "  ".join(row))
+
+    def lat(system, op, size):
+        return results[system, op, size].mean_ns
+
+    # Datalog's headline speedups over stock NOVA.
+    speed64 = lat("nova", "overwrite", 64) / \
+        lat("nova-datalog", "overwrite", 64)
+    speed256 = lat("nova", "overwrite", 256) / \
+        lat("nova-datalog", "overwrite", 256)
+    report.row("datalog speedup @64B", fmt(speed64), 7.0, "x")
+    report.row("datalog speedup @256B", fmt(speed256), 6.5, "x")
+    assert speed64 > 3.0
+    assert speed256 > 3.0
+
+    # Sync DAX variants are the slowest; ext4's journal beats xfs's.
+    assert lat("ext4-dax-sync", "overwrite", 64) > \
+        lat("xfs-dax-sync", "overwrite", 64) > \
+        3 * lat("nova-datalog", "overwrite", 64)
+
+    # Read latency increases only slightly with datalog.
+    read_ratio = lat("nova-datalog", "read", 4096) / \
+        lat("ext4-dax", "read", 4096)
+    report.row("datalog 4K read vs ext4-dax", fmt(read_ratio), "~1.1", "x")
+    assert read_ratio < 1.35

@@ -1,0 +1,48 @@
+"""Figure 14: bandwidth over sfence intervals.
+
+Paper: single-thread Optane-NI bandwidth peaks around 256 B writes;
+flushing during vs after a medium write makes little difference; but
+once the write exceeds the cache capacity, flushing after the write
+degrades (capacity evictions scramble the stream and raise write
+amplification).  We shrink the LLC to 2 MB so the beyond-capacity
+regime is reachable quickly; the knee tracks the LLC size, as it did
+on the paper's 33 MB-LLC part.
+"""
+
+from benchmarks.conftest import fmt
+from repro._units import KIB, MIB
+from repro.core.figures import figure14
+from repro.sim import MachineConfig
+
+SIZES = (64, 256, 4 * KIB, 64 * KIB, 4 * MIB)
+
+
+def run():
+    cfg = MachineConfig()
+    cfg.cache.capacity_bytes = 2 * MIB
+    return figure14(write_sizes=SIZES, total_bytes=1 * MIB,
+                    machine_config=cfg)
+
+
+def test_fig14_sfence_interval(benchmark, report):
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, pts in curves.items():
+        report.series(label, [(s, fmt(v, 2)) for s, v in pts], "GB/s")
+    every = dict(curves["clwb(every 64B)"])
+    after = dict(curves["clwb(write size)"])
+    nt = dict(curves["ntstore"])
+
+    # 256 B is at or near the peak of the flushed curves.
+    assert every[256] >= every[64]
+    # Medium sizes: flush-during vs flush-after barely differ.
+    mid_ratio = after[4 * KIB] / every[4 * KIB]
+    report.row("4K after/during ratio", fmt(mid_ratio), "~1.0")
+    assert 0.7 <= mid_ratio <= 1.35
+    # Past the LLC, flushing after the write collapses; flushing during
+    # does not.
+    big = 4 * MIB
+    degraded = after[big] / every[big]
+    report.row("beyond-LLC after/during ratio", fmt(degraded), "<0.8")
+    assert degraded < 0.85
+    # ntstore is insensitive to the fence interval.
+    assert nt[big] > 0.75 * nt[4 * KIB]

@@ -1,0 +1,28 @@
+"""Figure 15: tuning persistence instructions for micro-buffering.
+
+Paper: for Pangolin-style micro-buffered transactions, cached stores
+plus clwb beat non-temporal write-back for small objects; ntstore wins
+above the ~1 KB crossover.
+"""
+
+from benchmarks.conftest import fmt
+from repro._units import KIB
+from repro.pmdk.study import crossover_size, figure15
+
+SIZES = (64, 128, 256, 512, 1 * KIB, 2 * KIB, 4 * KIB, 8 * KIB)
+
+
+def test_fig15_microbuffering(benchmark, report):
+    curves = benchmark.pedantic(
+        figure15, kwargs={"sizes": SIZES, "reps": 40},
+        rounds=1, iterations=1)
+    for variant, pts in curves.items():
+        report.series(variant, [(s, fmt(v, 0)) for s, v in pts], "ns")
+    nt = dict(curves["PGL-NT"])
+    clwb = dict(curves["PGL-CLWB"])
+    crossover = crossover_size(curves)
+    report.row("crossover", crossover, 1024, "bytes")
+    # CLWB wins small, NT wins large; crossover in the paper's regime.
+    assert clwb[64] < nt[64]
+    assert nt[8 * KIB] < clwb[8 * KIB]
+    assert crossover is not None and 128 <= crossover <= 2048

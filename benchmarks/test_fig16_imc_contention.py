@@ -1,0 +1,50 @@
+"""Figure 16: iMC contention as threads spread over more DIMMs.
+
+Paper: with a fixed thread pool, letting each thread touch more DIMMs
+*reduces* aggregate bandwidth (per-thread WPQ occupancy causes head-of-
+line blocking); pinning threads to DIMMs maximizes bandwidth.
+"""
+
+from benchmarks.conftest import fmt
+from repro._units import KIB
+from repro.lattester.contention import figure16
+
+
+def run():
+    return {
+        "ntstore": figure16(op="ntstore", threads=6,
+                            access_sizes=(64, 256, 1024, 4096),
+                            dimm_counts=(1, 2, 3, 6),
+                            per_thread=64 * KIB),
+        "read": figure16(op="read", threads=24,
+                         access_sizes=(256, 4096),
+                         dimm_counts=(1, 6),
+                         per_thread=48 * KIB),
+    }
+
+
+def test_fig16_imc_contention(benchmark, report):
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    for op, by_dimms in curves.items():
+        for n, pts in by_dimms.items():
+            report.series(
+                "%s %d DIMM(s)/thread" % (op, n),
+                [(p.access, fmt(p.bandwidth_gbps, 1)) for p in pts],
+                "GB/s")
+    nt = curves["ntstore"]
+
+    def mean_bw(n):
+        return sum(p.bandwidth_gbps for p in nt[n]) / len(nt[n])
+
+    report.row("ntstore 1 DIMM/thread", fmt(mean_bw(1)), "~12", "GB/s")
+    report.row("ntstore 6 DIMMs/thread", fmt(mean_bw(6)), "~6-8", "GB/s")
+    # Monotonic decline as each thread spans more DIMMs.
+    assert mean_bw(1) > mean_bw(2) > mean_bw(6)
+    assert mean_bw(1) > 1.3 * mean_bw(6)
+    # Reads suffer too, more mildly.
+    rd = curves["read"]
+    rd1 = sum(p.bandwidth_gbps for p in rd[1]) / len(rd[1])
+    rd6 = sum(p.bandwidth_gbps for p in rd[6]) / len(rd[6])
+    report.row("read 1 vs 6 DIMMs/thread",
+               "%s vs %s" % (fmt(rd1, 1), fmt(rd6, 1)), "declining")
+    assert rd6 <= rd1 * 1.05

@@ -1,0 +1,44 @@
+"""Figure 18: local vs remote Optane bandwidth over read:write mixes.
+
+Paper: single-threaded remote bandwidth tracks local; multi-threaded
+*mixed* remote traffic collapses (the worst sweep gap exceeds 30x),
+while pure reads/writes retain ~60 % of local bandwidth.
+"""
+
+from benchmarks.conftest import fmt
+from repro._units import KIB
+from repro.core.figures import figure18
+
+
+def run():
+    return figure18(per_thread=64 * KIB)
+
+
+def test_fig18_numa_mix(benchmark, report):
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    for (kind, threads), pts in sorted(res.items()):
+        report.series("%s x%d" % (kind, threads),
+                      [(lbl, fmt(v, 1)) for lbl, v in pts], "GB/s")
+    loc1 = dict(res["optane", 1])
+    rem1 = dict(res["optane-remote", 1])
+    loc4 = dict(res["optane", 4])
+    rem4 = dict(res["optane-remote", 4])
+
+    # Single-threaded: remote is close to local for every mix.
+    for mix in loc1:
+        assert rem1[mix] > 0.6 * loc1[mix], mix
+
+    # Multi-threaded pure traffic: ~60 % of local.
+    report.row("remote/local pure read x4", fmt(rem4["R"] / loc4["R"]),
+               0.59)
+    report.row("remote/local pure write x4", fmt(rem4["W"] / loc4["W"]),
+               0.62)
+    assert 0.45 <= rem4["R"] / loc4["R"] <= 0.95
+    assert 0.45 <= rem4["W"] / loc4["W"] <= 0.95
+
+    # Multi-threaded mixed traffic collapses.
+    worst = min(rem4[m] / loc4[m] for m in ("4:1", "3:1", "2:1", "1:1"))
+    report.row("worst remote/local mixed x4", fmt(worst), "<0.35")
+    assert worst < 0.4
+    # Mixes hurt remote more than pure traffic does.
+    assert rem4["1:1"] < rem4["R"] and rem4["1:1"] < rem4["W"]

@@ -1,0 +1,37 @@
+"""Figure 19: NUMA degradation for PMemKV.
+
+Paper: migrating the cmap pool to the remote socket costs the
+read-modify-write (overwrite) workload up to 4.5x on Optane but only
+~8 % on DRAM; local Optane scales with threads, remote flattens out
+past two threads.
+"""
+
+from benchmarks.conftest import fmt
+from repro.pmemkv.study import degradation, figure19
+
+THREADS = (1, 2, 4, 8)
+
+
+def run():
+    return figure19(thread_counts=THREADS, ops_per_thread=150)
+
+
+def test_fig19_pmemkv_numa(benchmark, report):
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    for kind, pts in res.items():
+        report.series(kind,
+                      [(n, fmt(r.bandwidth_gbps, 2)) for n, r in pts],
+                      "GB/s")
+    opt_deg = degradation(res, "optane")
+    dram_deg = degradation(res, "dram")
+    report.row("optane local/remote", fmt(opt_deg, 1), 4.5, "x")
+    report.row("dram local/remote", fmt(dram_deg, 2), "~1.1", "x")
+    assert opt_deg > 2.5
+    assert dram_deg < 1.6
+    assert opt_deg > 2 * dram_deg          # the paper's 18x-vs-DRAM gap
+
+    # Local Optane scales with threads; remote flattens early.
+    local = dict(res["optane"])
+    remote = dict(res["optane-remote"])
+    assert local[8].bandwidth_gbps > 2.5 * local[1].bandwidth_gbps
+    assert remote[8].bandwidth_gbps < 1.5 * remote[2].bandwidth_gbps

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""NOVA and NOVA-datalog: tuning a file system for 3D XPoint.
+
+Runs the Section 5.1.2 experiment: small random overwrites on stock
+NOVA (copy-on-write 4 KB pages) versus NOVA-datalog (data embedded in
+the inode log), shows the device-level reason (EWR / media traffic),
+and finishes with a crash to prove datalog keeps NOVA's atomicity.
+
+Run:  python examples/filesystem_datalog.py
+"""
+
+import random
+
+from repro._units import KIB
+from repro.fs import NovaFS, PAGE
+from repro.sim import Machine
+
+
+def overwrite_run(datalog, ops=400):
+    machine = Machine()
+    fs = NovaFS(machine, datalog=datalog)
+    t = machine.thread()
+    inode = fs.create(t)
+    for b in range(64):                        # a 256 KB file
+        fs.write(t, inode, b * PAGE, b"\xAB" * PAGE)
+    dimms = fs.devices[0].dimms
+    snaps = [d.counters.snapshot() for d in dimms]
+    rng = random.Random(3)
+    start = t.now
+    for _ in range(ops):
+        offset = rng.randrange(64 * PAGE // 64) * 64
+        fs.write(t, inode, offset, b"\x11" * 64)
+    elapsed = t.now - start
+    media = sum(d.counters.delta(s).media_write_bytes
+                for d, s in zip(dimms, snaps))
+    return elapsed / ops, media / ops, machine, fs, inode
+
+
+def main():
+    print("64 B random overwrites on a 256 KB file:")
+    lat_cow, media_cow, *_ = overwrite_run(datalog=False)
+    lat_dl, media_dl, machine, fs, inode = overwrite_run(datalog=True)
+    print("  NOVA (COW 4 KB pages): %6.2f us/op, %5.0f media bytes/op"
+          % (lat_cow / 1000, media_cow))
+    print("  NOVA-datalog         : %6.2f us/op, %5.0f media bytes/op"
+          % (lat_dl / 1000, media_dl))
+    print("  speedup: %.1fx (paper: 7x) — a 64 B write no longer "
+          "rewrites a 4 KB page" % (lat_cow / lat_dl))
+
+    # Atomicity is preserved: crash, remount, verify.
+    t = machine.thread()
+    fs.write(t, inode, 100, b"last-durable-write")
+    machine.power_fail()
+    remounted = NovaFS.mount(machine, datalog=True)
+    got = remounted.read_persistent_file(inode, 100, 18)
+    print("\nafter power failure, remount reads:", got)
+    assert got == b"last-durable-write"
+
+    # The log cleaner keeps the log bounded.
+    t2 = machine.thread()
+    before = remounted._files[inode].log.length
+    remounted.clean(t2, inode)
+    after = remounted._files[inode].log.length
+    print("log cleaner: %d entries -> %d (embedded data merged into "
+          "pages)" % (before, after))
+
+    # Multi-DIMM awareness (Section 5.3.1), in one line each:
+    from repro.fs.fio import run_fio
+    m2 = Machine()
+    interleaved = run_fio(NovaFS(m2, kinds=("optane",)), m2, op="write",
+                          threads=12, block_size=4 * KIB,
+                          file_blocks=16, ios=32)
+    m3 = Machine()
+    pinned_fs = NovaFS(m3, kinds=[m3.namespace("optane-ni", dimm=d)
+                                  for d in range(6)], pinned=True)
+    pinned = run_fio(pinned_fs, m3, op="write", threads=12,
+                     block_size=4 * KIB, file_blocks=16, ios=32)
+    print("\nFIO 12-writer bandwidth: interleaved %.1f GB/s, "
+          "DIMM-pinned %.1f GB/s (+%.0f%%)"
+          % (interleaved.bandwidth_gbps, pinned.bandwidth_gbps,
+             100 * (pinned.bandwidth_gbps / interleaved.bandwidth_gbps
+                    - 1)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""A crash-safe key-value store on persistent memory.
+
+Demonstrates the RocksDB case study (Section 4.2): the same workload
+on the three durability strategies, with a mid-run power failure and
+full recovery — and why the winning strategy depends on the memory
+technology underneath.
+
+Run:  python examples/kvstore_crash_recovery.py
+"""
+
+import random
+
+from repro.kvstore import LSMStore
+from repro.kvstore.study import set_benchmark
+from repro.sim import Machine
+
+
+def crash_and_recover(mode):
+    """Write 2000 records, pull the plug, recover, verify."""
+    machine = Machine()
+    db = LSMStore(machine, mode=mode)
+    t = machine.thread()
+    rng = random.Random(7)
+    written = {}
+    for i in range(2000):
+        key = b"user:%08d" % rng.randrange(500)
+        value = b"profile-v%d" % i
+        db.put(t, key, value)              # synced: survives any crash
+        written[key] = value
+
+    machine.power_fail()                    # yank the cord
+
+    recovered = LSMStore.recover(machine, mode=mode)
+    checker = machine.thread()
+    lost = sum(1 for k, v in written.items()
+               if recovered.get(checker, k) != v)
+    print("  %-20s recovered %d/%d keys, %d lost, %d table(s) on media"
+          % (mode, len(written) - lost, len(written), lost,
+             len(recovered.tables)))
+    assert lost == 0
+
+
+def strategy_shootout():
+    """The Figure 8 inversion, in miniature."""
+    print("\nSET throughput (20 B keys, 100 B values, sync each op):")
+    for kind in ("dram", "optane"):
+        results = {}
+        for mode in ("wal-posix", "wal-flex", "persistent-memtable"):
+            results[mode] = set_benchmark(mode, kind=kind,
+                                          ops=4000).kops_per_sec
+        best = max(results, key=results.get)
+        rows = "  ".join("%s=%.0fK" % (m, v) for m, v in results.items())
+        print("  %-7s %s   -> best: %s" % (kind, rows, best))
+    print("\nOn DRAM 'persistent memory', skip the WAL and persist the "
+          "memtable.\nOn real 3D XPoint, the FLEX log's sequential "
+          "appends win — emulation\ninverts the design decision "
+          "(Section 4.2).")
+
+
+def main():
+    print("crash recovery, all three durability strategies:")
+    for mode in ("wal-posix", "wal-flex", "persistent-memtable"):
+        crash_and_recover(mode)
+    strategy_shootout()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""The full systematic sweep (Section 3.1): thousands of data points.
+
+The paper's LATTester first phase swept access pattern, operation,
+access size, stride, power budget, NUMA configuration and interleaving,
+collecting over ten thousand data points.  This script reproduces that
+scale on the simulator and writes the results to CSV for offline
+analysis (Figure 9-style mining).
+
+Usage:  python scripts/full_sweep.py [out.csv] [--quick]
+"""
+
+import sys
+import time
+
+from repro._units import KIB
+from repro.lattester.sweep import sweep_grid, write_csv
+
+FULL_GRID = {
+    "kind": ("optane", "optane-ni", "optane-remote", "dram",
+             "dram-ni", "dram-remote"),
+    "op": ("read", "ntstore", "clwb", "store"),
+    "pattern": ("seq", "rand"),
+    "access": (64, 128, 256, 512, 1024, 4096, 16384),
+    "threads": (1, 2, 4, 8, 16, 24),
+}
+
+QUICK_GRID = {
+    "kind": ("optane", "optane-ni", "dram"),
+    "op": ("read", "ntstore", "clwb"),
+    "pattern": ("seq", "rand"),
+    "access": (64, 256, 4096),
+    "threads": (1, 4, 16),
+}
+
+
+def main(argv):
+    out = argv[0] if argv and not argv[0].startswith("-") else "sweep.csv"
+    grid = QUICK_GRID if "--quick" in argv else FULL_GRID
+    total = 1
+    for values in grid.values():
+        total *= len(values)
+    print("sweeping %d configurations -> %s" % (total, out))
+    started = time.time()
+    done = []
+
+    def progress(record):
+        done.append(record)
+        if len(done) % 50 == 0:
+            rate = len(done) / (time.time() - started)
+            print("  %5d/%d  (%.1f cfg/s)  last: %s/%s %s %dB x%d -> "
+                  "%.2f GB/s"
+                  % (len(done), total, rate, record["kind"],
+                     record["op"], record["pattern"], record["access"],
+                     record["threads"], record["gbps"]))
+
+    records = sweep_grid(grid=grid, per_thread=48 * KIB,
+                         progress=progress)
+    write_csv(records, out)
+    print("wrote %d records to %s in %.0f s"
+          % (len(records), out, time.time() - started))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,54 @@
+"""Regenerate every reproduced experiment and write a combined report.
+
+Runs each entry of the experiment registry (fig2..fig19) with default
+parameters and dumps the raw results to ``experiments_raw.txt``.  For
+the asserted paper-vs-measured comparisons, run the benchmark suite
+instead (``pytest benchmarks/ --benchmark-only -s``).
+
+Usage: python scripts/regenerate_all.py [out.txt] [figN ...]
+"""
+
+import sys
+import time
+
+from repro.core.experiments import all_experiments, get
+
+
+def _dump(fh, value, indent="  "):
+    if isinstance(value, dict):
+        for key, sub in value.items():
+            if isinstance(sub, (dict, list)):
+                fh.write("%s%s:\n" % (indent, key))
+                _dump(fh, sub, indent + "  ")
+            else:
+                fh.write("%s%s: %s\n" % (indent, key, sub))
+    elif isinstance(value, list):
+        for item in value:
+            fh.write("%s%s\n" % (indent, item))
+    else:
+        fh.write("%s%s\n" % (indent, value))
+
+
+def main(argv):
+    out = argv[0] if argv and not argv[0].startswith("fig") \
+        else "experiments_raw.txt"
+    wanted = [a for a in argv if a.startswith("fig")]
+    experiments = [get(f) for f in wanted] if wanted else all_experiments()
+    with open(out, "w") as fh:
+        for exp in experiments:
+            print("running %s — %s ..." % (exp.figure, exp.title),
+                  end=" ", flush=True)
+            started = time.time()
+            result = exp.run()
+            elapsed = time.time() - started
+            print("%.1f s" % elapsed)
+            fh.write("== %s — %s (Section %s)\n"
+                     % (exp.figure, exp.title, exp.section))
+            fh.write("   workload: %s\n" % exp.workload)
+            _dump(fh, result)
+            fh.write("\n")
+    print("wrote", out)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

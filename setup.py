@@ -1,0 +1,7 @@
+"""Legacy setup shim: no `wheel` package is available offline, so pip's
+PEP 517 editable path can't build; `pip install -e . --no-build-isolation`
+falls back to this via setuptools' develop command."""
+
+from setuptools import setup
+
+setup()

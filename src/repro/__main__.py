@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``                — the experiment registry (figure, title, bench)
+* ``run fig10 [...]``     — run experiments and print their raw results
+* ``calibrate``           — the headline paper-vs-measured numbers
+* ``guidelines``          — print the four best practices
+* ``audit --access N ...``— audit an access pattern against them
+"""
+
+import argparse
+import sys
+
+from repro.core.experiments import all_experiments, get
+from repro.core.guidelines import (
+    AccessPlan, Violation, audit_access_pattern,
+)
+from repro.lattester.report import table
+
+
+def cmd_list(_args):
+    rows = [[e.figure, "§" + e.section, e.title, e.bench]
+            for e in all_experiments()]
+    print(table(["figure", "section", "title", "benchmark"], rows,
+                title="Reproduced experiments"))
+    return 0
+
+
+def cmd_run(args):
+    for figure in args.figures:
+        exp = get(figure)
+        print("== %s — %s (workload: %s)" % (exp.figure, exp.title,
+                                             exp.workload))
+        result = exp.run()
+        _pretty(result)
+    return 0
+
+
+def _pretty(result, indent="  "):
+    if isinstance(result, dict):
+        for key, value in result.items():
+            if isinstance(value, (dict, list)):
+                print("%s%s:" % (indent, key))
+                _pretty(value, indent + "  ")
+            else:
+                print("%s%s: %s" % (indent, key, value))
+    elif isinstance(result, list):
+        for item in result:
+            print("%s%s" % (indent, item))
+    else:
+        print("%s%s" % (indent, result))
+
+
+def cmd_calibrate(_args):
+    from scripts import calibrate  # pragma: no cover - path dependent
+    calibrate.main([])
+    return 0
+
+
+def _calibrate_inline():
+    """Fallback when scripts/ is not importable (installed package)."""
+    from repro.lattester.latency import read_latency, write_latency
+    rows = [
+        ["DRAM read seq", read_latency("dram", "seq").mean_ns, 81],
+        ["DRAM read rand", read_latency("dram", "rand").mean_ns, 101],
+        ["Optane read seq", read_latency("optane", "seq").mean_ns, 169],
+        ["Optane read rand", read_latency("optane", "rand").mean_ns, 305],
+        ["store+clwb+fence (Optane)",
+         write_latency("optane", "clwb").mean_ns, 62],
+        ["ntstore+fence (Optane)",
+         write_latency("optane", "ntstore").mean_ns, 90],
+    ]
+    print(table(["experiment", "measured ns", "paper ns"], rows,
+                title="Calibration (Figure 2)"))
+
+
+def cmd_guidelines(_args):
+    print("Best practices for 3D XPoint DIMMs (Section 5):")
+    for num, name in sorted(Violation.GUIDELINE_NAMES.items()):
+        print("  %d. %s" % (num, name.capitalize()))
+    return 0
+
+
+def cmd_audit(args):
+    plan = AccessPlan(
+        access_bytes=args.access,
+        pattern=args.pattern,
+        is_write=not args.read,
+        threads=args.threads,
+        dimms=args.dimms,
+        remote=args.remote,
+        mixed_read_write=args.mixed,
+        working_set_bytes=args.working_set,
+        flushes_promptly=not args.no_flush,
+    )
+    violations = audit_access_pattern(plan)
+    if not violations:
+        print("no guideline violations — ship it")
+        return 0
+    for v in violations:
+        print(" ", v)
+    return 1
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="FAST'20 scalable-persistent-memory reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list reproduced experiments")
+    run = sub.add_parser("run", help="run experiments by figure id")
+    run.add_argument("figures", nargs="+", metavar="figN")
+    sub.add_parser("calibrate", help="paper-vs-measured headline numbers")
+    sub.add_parser("guidelines", help="print the four best practices")
+    audit = sub.add_parser("audit", help="audit an access pattern")
+    audit.add_argument("--access", type=int, default=64,
+                       help="access size in bytes")
+    audit.add_argument("--pattern", choices=("seq", "rand"),
+                       default="rand")
+    audit.add_argument("--read", action="store_true",
+                       help="reads instead of writes")
+    audit.add_argument("--threads", type=int, default=1)
+    audit.add_argument("--dimms", type=int, default=6)
+    audit.add_argument("--remote", action="store_true")
+    audit.add_argument("--mixed", action="store_true",
+                       help="mixed read/write traffic")
+    audit.add_argument("--working-set", type=int, default=0)
+    audit.add_argument("--no-flush", action="store_true",
+                       help="stores are not promptly flushed")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "run": cmd_run,
+        "guidelines": cmd_guidelines,
+        "audit": cmd_audit,
+    }
+    if args.command == "calibrate":
+        try:
+            return cmd_calibrate(args)
+        except ImportError:
+            _calibrate_inline()
+            return 0
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Figure regenerators that combine several lattester pieces.
+
+Most figures map 1:1 onto a lattester function; the three here need
+composite workloads of their own:
+
+* :func:`figure13` — persistence-instruction bandwidth and latency;
+* :func:`figure14` — bandwidth as a function of the sfence interval;
+* :func:`figure18` — local/remote bandwidth across read:write mixes.
+"""
+
+import random
+
+from repro._units import CACHELINE, KIB, gb_per_s
+from repro.lattester.access import staggered_base
+from repro.lattester.bandwidth import measure_bandwidth
+from repro.sim import Machine, run_workloads
+
+
+def figure13(access_sizes=(64, 256, 1024, 4096), threads=6,
+             per_thread=128 * KIB, machine_config=None):
+    """Bandwidth (6 threads, fenced per access) and single-thread
+    latency per persistence instruction.
+
+    Returns ``{"bandwidth": {instr: [(size, GB/s)]},
+               "latency":   {instr: [(size, ns)]}}``.
+
+    The "store" (no flush) curve only shows its write-back behaviour
+    when the working set exceeds the LLC; pass a ``machine_config``
+    with a small cache to measure it cheaply.
+    """
+    bandwidth = {}
+    for op in ("ntstore", "clwb", "store"):
+        pts = []
+        for size in access_sizes:
+            m = Machine(machine_config)
+            r = measure_bandwidth(
+                kind="optane", op=op, threads=threads, access=size,
+                pattern="seq", per_thread=per_thread, machine=m,
+                fence_every=size)
+            pts.append((size, r.gbps))
+        bandwidth[op] = pts
+
+    latency = {"ntstore": [], "clwb": []}
+    for size in access_sizes:
+        for instr in ("ntstore", "clwb"):
+            m = Machine(machine_config)
+            ns = m.namespace("optane")
+            t = m.thread()
+            lats = []
+            for i in range(64):
+                addr = i * max(size, 4 * KIB)
+                # Warm the lines, as the paper's latency experiment does.
+                ns.load(t, addr, size)
+                t.mfence()
+                start = t.now
+                if instr == "ntstore":
+                    ns.ntstore(t, addr, size)
+                else:
+                    ns.store(t, addr, size)
+                    ns.clwb(t, addr, size)
+                t.sfence()
+                lats.append(t.now - start)
+            latency[instr].append((size, sum(lats) / len(lats)))
+    return {"bandwidth": bandwidth, "latency": latency}
+
+
+def figure14(write_sizes=(64, 1024, 64 * KIB, 1024 * KIB, 8 * 1024 * KIB),
+             total_bytes=4 * 1024 * KIB, machine_config=None):
+    """Single-thread Optane-NI bandwidth over the sfence interval.
+
+    Three curves: clwb after every 64 B line, clwb after the whole
+    write ("write size"), and ntstore — each fenced once per write.
+    ``machine_config`` lets callers shrink the LLC so the
+    beyond-cache-capacity regime is reachable quickly.
+    """
+    curves = {"clwb(every 64B)": [], "clwb(write size)": [], "ntstore": []}
+    for size in write_sizes:
+        span = max(total_bytes, size)
+        writes = max(1, span // size)
+        for label in curves:
+            m = Machine(machine_config)
+            ns = m.namespace("optane-ni")
+            t = m.thread()
+            start = t.now
+            for w in range(writes):
+                base = w * size
+                if label == "ntstore":
+                    ns.ntstore(t, base, size)
+                elif label == "clwb(every 64B)":
+                    for off in range(0, size, CACHELINE):
+                        ns.store(t, base + off)
+                        ns.clwb(t, base + off)
+                else:
+                    ns.store(t, base, size)
+                    ns.clwb(t, base, size)
+                t.sfence()
+            elapsed = t.now - start
+            curves[label].append((size, gb_per_s(writes * size, elapsed)))
+    return curves
+
+
+def figure18(mixes=(("R", 1.0), ("4:1", 0.8), ("3:1", 0.75),
+                    ("2:1", 2 / 3), ("1:1", 0.5), ("W", 0.0)),
+             thread_counts=(1, 4), per_thread=96 * KIB):
+    """Local vs remote Optane bandwidth across read:write mixes.
+
+    Returns ``{(kind, threads): [(mix_label, GB/s)]}`` for
+    kind in {"optane", "optane-remote"}.
+    """
+    results = {}
+    for kind in ("optane", "optane-remote"):
+        for nthreads in thread_counts:
+            pts = []
+            for label, read_frac in mixes:
+                pts.append((label, _mixed_bandwidth(
+                    kind, nthreads, read_frac, per_thread)))
+            results[kind, nthreads] = pts
+    return results
+
+
+def _mixed_bandwidth(kind, nthreads, read_frac, per_thread):
+    m = Machine()
+    ns = m.namespace(kind)
+    ts = m.threads(nthreads, socket=0)
+
+    def worker(t):
+        rng = random.Random(7 + t.tid)
+        base = staggered_base(t.tid, per_thread)
+        for i in range(per_thread // CACHELINE):
+            addr = base + i * CACHELINE
+            if rng.random() < read_frac:
+                ns.load(t, addr)
+            else:
+                ns.ntstore(t, addr)
+            yield
+        t.sfence()
+
+    elapsed = run_workloads([(t, worker(t)) for t in ts])
+    return gb_per_s(per_thread * nthreads, elapsed)

@@ -1,0 +1,36 @@
+"""NOVA-like log-structured file system + DAX comparators + FIO.
+
+Public surface::
+
+    from repro.fs import NovaFS
+    from repro.sim import Machine
+
+    m = Machine()
+    fs = NovaFS(m, datalog=True)
+    t = m.thread()
+    inode = fs.create(t)
+    fs.write(t, inode, 0, b"hello")
+    assert fs.read(t, inode, 0, 5) == b"hello"
+    m.power_fail()
+    fs2 = NovaFS.mount(m, datalog=True)
+    assert fs2.read_persistent_file(inode, 0, 5) == b"hello"
+"""
+
+from repro.fs.cleaner import clean_file, live_overlays
+from repro.fs.dax import DAXFileSystem
+from repro.fs.fio import FIOResult, run_fio
+from repro.fs.layout import PAGE, AllocationPolicy, PageAllocator
+from repro.fs.log import InodeLog, encode_embed_entry, encode_write_entry
+from repro.fs.namei import Directory, NameSpaceFS
+from repro.fs.nova import NovaFS
+from repro.fs.study import (
+    FIG12_SYSTEMS, IOLatency, figure12, figure17, file_io_latency,
+)
+
+__all__ = [
+    "AllocationPolicy", "DAXFileSystem", "Directory", "FIG12_SYSTEMS",
+    "FIOResult", "IOLatency", "InodeLog", "NameSpaceFS", "NovaFS",
+    "PAGE", "PageAllocator",
+    "clean_file", "encode_embed_entry", "encode_write_entry",
+    "figure12", "figure17", "file_io_latency", "live_overlays", "run_fio",
+]

@@ -1,0 +1,83 @@
+"""A FIO-like workload generator for the file-system studies.
+
+Supports the axes Figure 17 sweeps: sequential/random x read/write,
+block size, thread count, and two IO engines:
+
+* ``sync``  — each thread issues one blocking IO at a time;
+* ``async`` (libaio-style) — writes skip the per-IO fsync (completions
+  are batched; one sync per ``batch`` IOs).
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro._units import KIB, gb_per_s
+from repro.sim import run_workloads
+
+
+@dataclass
+class FIOResult:
+    """Aggregate result of one FIO job."""
+
+    op: str
+    pattern: str
+    engine: str
+    threads: int
+    block_size: int
+    bandwidth_gbps: float
+    elapsed_ns: float
+
+
+def run_fio(fs, machine, op="write", pattern="seq", engine="sync",
+            threads=4, block_size=4 * KIB, file_blocks=64, ios=None,
+            batch=16):
+    """Run one FIO job: each thread owns one file on ``fs``."""
+    ts = machine.threads(threads)
+    inodes = []
+    for t in ts:
+        # Preallocation runs on the owning thread: the pinned policy
+        # keys page placement off the allocating thread's id.
+        inode = fs.create(t)
+        for b in range(file_blocks):
+            fs.write(t, inode, b * block_size,
+                     bytes([(t.tid + b) & 0xFF]) * block_size)
+        inodes.append(inode)
+
+    total_ios = ios if ios is not None else file_blocks * 4
+
+    def worker(t, inode):
+        rng = random.Random(1234 + t.tid)
+        payload = bytes([t.tid & 0xFF]) * block_size
+        since_sync = 0
+        for i in range(total_ios):
+            if pattern == "seq":
+                block = i % file_blocks
+            else:
+                block = rng.randrange(file_blocks)
+            offset = block * block_size
+            if op == "read":
+                fs.read(t, inode, offset, block_size)
+            else:
+                sync = engine == "sync"
+                fs.write(t, inode, offset, payload, sync=sync)
+                since_sync += 1
+                if engine == "async" and since_sync >= batch:
+                    t.sfence()
+                    since_sync = 0
+            yield
+        if op == "write":
+            t.sfence()
+
+    start_floor = max(t.now for t in ts)
+    for t in ts:
+        if t.now < start_floor:
+            t.now = start_floor
+    elapsed = run_workloads(
+        [(t, worker(t, inode)) for t, inode in zip(ts, inodes)])
+    moved = total_ios * block_size * threads
+    return FIOResult(
+        op=op, pattern=pattern, engine=engine, threads=threads,
+        block_size=block_size,
+        bandwidth_gbps=gb_per_s(moved, elapsed - start_floor),
+        elapsed_ns=elapsed - start_floor,
+    )

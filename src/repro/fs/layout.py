@@ -1,0 +1,116 @@
+"""On-media layout and page allocation for the NOVA-like file system.
+
+A file system instance spans one or more pmem *devices* (namespaces):
+one interleaved namespace in the default configuration, or six
+non-interleaved per-DIMM namespaces in the multi-DIMM configuration of
+Section 5.3.1.  Addresses are global: ``gaddr = device_index << 44 |
+offset`` (64-bit, device-tagged).
+
+Each device is carved into:
+
+* a superblock page (page 0),
+* an inode-table region,
+* everything else: 4 KB pages handed out by the per-device bump/free
+  allocator (used for both file data and log pages).
+"""
+
+from repro._units import KIB
+
+PAGE = 4 * KIB
+_DEV_SHIFT = 44
+_OFF_MASK = (1 << _DEV_SHIFT) - 1
+
+#: Pages reserved at the front of each device (superblock + inode table).
+RESERVED_PAGES = 16
+INODE_TABLE_PAGE = 1
+INODE_TABLE_PAGES = RESERVED_PAGES - 1
+
+
+def make_gaddr(device_index, offset):
+    if offset < 0 or offset > _OFF_MASK:
+        raise ValueError("offset out of range")
+    return (device_index << _DEV_SHIFT) | offset
+
+
+def split_gaddr(gaddr):
+    return gaddr >> _DEV_SHIFT, gaddr & _OFF_MASK
+
+
+class PageAllocator:
+    """Free-list page allocator for one device."""
+
+    def __init__(self, device_index, capacity_pages):
+        if capacity_pages <= RESERVED_PAGES:
+            raise ValueError("device too small")
+        self.device_index = device_index
+        self._next = RESERVED_PAGES
+        self._limit = capacity_pages
+        self._free = []
+        self._reserved = set()
+        self.allocated = 0
+
+    def alloc(self):
+        """Allocate one page; returns its gaddr."""
+        if self._free:
+            page = self._free.pop()
+        else:
+            while self._next in self._reserved:
+                self._next += 1
+            if self._next >= self._limit:
+                raise RuntimeError(
+                    "device %d out of pages" % self.device_index)
+            page = self._next
+            self._next += 1
+        self.allocated += 1
+        return make_gaddr(self.device_index, page * PAGE)
+
+    def reserve(self, gaddr):
+        """Mark a page as in use (recovery: pages owned by live files)."""
+        dev, off = split_gaddr(gaddr)
+        if dev != self.device_index or off % PAGE:
+            raise ValueError("bad page address for this device")
+        self._reserved.add(off // PAGE)
+        self.allocated += 1
+
+    def free(self, gaddr):
+        dev, off = split_gaddr(gaddr)
+        if dev != self.device_index or off % PAGE:
+            raise ValueError("bad page address for this device")
+        self._free.append(off // PAGE)
+        self.allocated -= 1
+
+    @property
+    def free_pages(self):
+        return (self._limit - self._next) + len(self._free)
+
+
+class AllocationPolicy:
+    """Chooses which device a thread's pages come from.
+
+    * ``interleaved`` — a single namespace already interleaves at 4 KB,
+      so there is one allocator and no choice to make.
+    * ``pinned`` — one allocator per DIMM-backed namespace; each thread
+      allocates only from the device it is pinned to (``tid % dimms``),
+      levelling the per-DIMM writer count (guideline #3).
+    """
+
+    def __init__(self, allocators, pinned=False):
+        if not allocators:
+            raise ValueError("need at least one allocator")
+        self.allocators = allocators
+        self.pinned = pinned
+        self._rr = 0
+
+    def alloc_for(self, thread):
+        if self.pinned:
+            alloc = self.allocators[thread.tid % len(self.allocators)]
+        elif len(self.allocators) == 1:
+            alloc = self.allocators[0]
+        else:
+            alloc = self.allocators[self._rr % len(self.allocators)]
+            self._rr += 1
+        return alloc.alloc()
+
+    def free(self, gaddr):
+        dev, _ = split_gaddr(gaddr)
+        self.allocators[dev].free(gaddr)

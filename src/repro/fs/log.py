@@ -1,0 +1,181 @@
+"""Per-inode logs: entry formats, appends, scanning (NOVA's core).
+
+A log is a chain of 4 KB log pages; each page begins with a 64-byte
+header whose first quadword is the gaddr of the next page (0 = end).
+Entries are multiples of 64 bytes:
+
+* **WriteEntry** (64 B) — a copy-on-write file write: "page ``pgoff``
+  of the file now lives at ``page_gaddr``; file size is now N".
+* **EmbedWriteEntry** (64 B header + inline data, 64 B-aligned) — the
+  NOVA-datalog optimisation (Figure 11): a sub-page write whose data
+  is embedded in the log itself, turning a random small write into a
+  sequential append.
+
+Every entry carries a CRC over its header (and, for embed entries, the
+data), so recovery can detect torn appends.
+"""
+
+import struct
+import zlib
+
+from repro._units import CACHELINE, align_up
+from repro.fs.layout import PAGE, split_gaddr
+
+LOG_PAGE_HEADER = 64
+
+WRITE_ENTRY = 1
+EMBED_ENTRY = 2
+SIZE_ENTRY = 3          # truncate / explicit size change
+
+# type u8 | pad u8 | dlen u16 | pgoff u32 | page_gaddr u64 |
+# file_size u64 | in_page_off u16 | pad | crc u32
+_ENTRY = struct.Struct("<BBHIQQHHI")
+ENTRY_SIZE = 64
+assert _ENTRY.size <= ENTRY_SIZE
+
+
+def encode_write_entry(pgoff, page_gaddr, file_size):
+    body = _ENTRY.pack(WRITE_ENTRY, 0, 0, pgoff, page_gaddr, file_size,
+                       0, 0, 0)[:-4]
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return (body + struct.pack("<I", crc)).ljust(ENTRY_SIZE, b"\x00")
+
+
+def encode_size_entry(file_size):
+    """A truncate record: sets the file size authoritatively."""
+    body = _ENTRY.pack(SIZE_ENTRY, 0, 0, 0, 0, file_size, 0, 0, 0)[:-4]
+    crc = zlib.crc32(body) & 0xFFFFFFFF
+    return (body + struct.pack("<I", crc)).ljust(ENTRY_SIZE, b"\x00")
+
+
+def encode_embed_entry(pgoff, in_page_off, data, file_size):
+    if len(data) >= PAGE:
+        raise ValueError("embed entries are for sub-page writes")
+    body = _ENTRY.pack(EMBED_ENTRY, 0, len(data), pgoff, 0, file_size,
+                       in_page_off, 0, 0)[:-4]
+    crc = zlib.crc32(body + data) & 0xFFFFFFFF
+    header = (body + struct.pack("<I", crc)).ljust(ENTRY_SIZE, b"\x00")
+    padded = align_up(len(data), CACHELINE)
+    return header + data + b"\x00" * (padded - len(data))
+
+
+def decode_entry(buf, offset):
+    """Decode the entry at ``offset``; returns (dict, next_offset) or None."""
+    if offset + ENTRY_SIZE > len(buf):
+        return None
+    fields = _ENTRY.unpack_from(buf, offset)
+    etype, _, dlen, pgoff, page_gaddr, file_size, in_off, _, crc = fields
+    raw_body = bytes(buf[offset:offset + _ENTRY.size - 4])
+    if etype == WRITE_ENTRY:
+        if zlib.crc32(raw_body) & 0xFFFFFFFF != crc:
+            return None
+        entry = {"type": WRITE_ENTRY, "pgoff": pgoff,
+                 "page_gaddr": page_gaddr, "file_size": file_size}
+        return entry, offset + ENTRY_SIZE
+    if etype == SIZE_ENTRY:
+        if zlib.crc32(raw_body) & 0xFFFFFFFF != crc:
+            return None
+        return ({"type": SIZE_ENTRY, "file_size": file_size},
+                offset + ENTRY_SIZE)
+    if etype == EMBED_ENTRY:
+        data_start = offset + ENTRY_SIZE
+        data_end = data_start + dlen
+        if data_end > len(buf):
+            return None
+        data = bytes(buf[data_start:data_end])
+        if zlib.crc32(raw_body + data) & 0xFFFFFFFF != crc:
+            return None
+        entry = {"type": EMBED_ENTRY, "pgoff": pgoff, "in_off": in_off,
+                 "data": data, "file_size": file_size}
+        return entry, offset + ENTRY_SIZE + align_up(dlen, CACHELINE)
+    return None
+
+
+def entry_span(entry_blob):
+    """Bytes the encoded entry occupies in the log."""
+    return len(entry_blob)
+
+
+class InodeLog:
+    """The volatile handle onto one inode's persistent log chain."""
+
+    def __init__(self, fs, head_gaddr, thread=None):
+        self.fs = fs
+        self.head = head_gaddr
+        self.tail_page = head_gaddr
+        self.tail_off = LOG_PAGE_HEADER       # within the tail page
+        self.length = 0                       # live entries appended
+        self.pages_seen = [head_gaddr]        # chain pages (for recovery)
+        if thread is not None:
+            self._adopt_page(thread, head_gaddr)
+
+    def _adopt_page(self, thread, gaddr):
+        """Initialise a (possibly recycled) page as a log page: its
+        next-pointer must be durably zero before anything links to it."""
+        dev, off = split_gaddr(gaddr)
+        self.fs.devices[dev].ntstore(thread, off, 8, data=b"\x00" * 8)
+        thread.sfence()
+
+    def append(self, thread, entry_blob):
+        """Durably append one encoded entry; returns its gaddr.
+
+        The entry is written with non-temporal stores and fenced, then
+        the in-page sequence continues; chaining a fresh log page links
+        it before use (next-pointer persisted first, NOVA-style).
+        """
+        span = len(entry_blob)
+        if span > PAGE - LOG_PAGE_HEADER:
+            raise ValueError("entry larger than a log page")
+        if self.tail_off + span > PAGE:
+            self._grow(thread)
+        dev, off = split_gaddr(self.tail_page)
+        ns = self.fs.devices[dev]
+        addr = off + self.tail_off
+        ns.ntstore(thread, addr, len(entry_blob), data=entry_blob)
+        thread.sfence()
+        gaddr = self.tail_page + self.tail_off
+        self.tail_off += span
+        self.length += 1
+        return gaddr
+
+    def _grow(self, thread):
+        """Chain a fresh log page onto the tail."""
+        new_page = self.fs.policy.alloc_for(thread)
+        self._adopt_page(thread, new_page)
+        dev, off = split_gaddr(self.tail_page)
+        ns = self.fs.devices[dev]
+        # Persist the next-pointer in the old tail's header (only after
+        # the new page's own header is durably clean).
+        ns.ntstore(thread, off, 8, data=struct.pack("<Q", new_page))
+        thread.sfence()
+        self.tail_page = new_page
+        self.tail_off = LOG_PAGE_HEADER
+
+    def scan_persistent(self):
+        """Recovery: yield decoded entries from the persistent view.
+
+        As a side effect (recovery runs this on a fresh handle) the
+        log's tail position and ``pages_seen`` are restored, so appends
+        can resume and the allocator can re-reserve the chain's pages.
+        """
+        page = self.head
+        seen = set()
+        self.pages_seen = []
+        while page and page not in seen:
+            seen.add(page)
+            dev, off = split_gaddr(page)
+            if dev >= len(self.fs.devices) or off % PAGE:
+                break                      # corrupt chain pointer: stop
+            self.pages_seen.append(page)
+            ns = self.fs.devices[dev]
+            raw = ns.read_persistent(off, PAGE)
+            pos = LOG_PAGE_HEADER
+            while True:
+                decoded = decode_entry(raw, pos)
+                if decoded is None:
+                    break
+                entry, pos = decoded
+                yield entry
+            self.tail_page = page
+            self.tail_off = pos
+            page = struct.unpack_from("<Q", raw, 0)[0]

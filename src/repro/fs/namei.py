@@ -1,0 +1,150 @@
+"""Directories and path lookup for the NOVA file system.
+
+NOVA "maintains a separate log for each file and directory"; here a
+directory is itself a NOVA file whose contents are a record stream of
+dentries (name -> inode), appended durably through the normal write
+path (so directory updates inherit NOVA's atomicity) and replayed from
+the persistent view on mount.
+
+A dentry record reuses the CRC'd record format of
+:mod:`repro.kvstore.records`: key = file name, value = 8-byte inode
+number; a tombstone record unlinks the name.
+"""
+
+import struct
+
+from repro.kvstore import records
+
+_INODE = struct.Struct("<Q")
+
+
+class Directory:
+    """One directory: a name -> inode map backed by a NOVA file."""
+
+    def __init__(self, fs, inode, entries=None, tail=0):
+        self.fs = fs
+        self.inode = inode
+        self._entries = entries if entries is not None else {}
+        self._tail = tail
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, fs, thread):
+        """Make a fresh, empty directory."""
+        return cls(fs, fs.create(thread))
+
+    @classmethod
+    def load(cls, fs, inode):
+        """Replay a directory's dentry stream from the persistent view."""
+        size = fs.stat_size(inode)
+        raw = fs.read_persistent_file(inode, 0, size)
+        entries = {}
+        offset = 0
+        while True:
+            rec = records.decode(raw, offset)
+            if rec is None:
+                break
+            name, value, offset = rec
+            if value is None:
+                entries.pop(bytes(name), None)
+            else:
+                entries[bytes(name)] = _INODE.unpack(value)[0]
+        return cls(fs, inode, entries, tail=offset)
+
+    # -- operations -------------------------------------------------------------
+
+    def _append(self, thread, blob):
+        self.fs.write(thread, self.inode, self._tail, blob)
+        self._tail += len(blob)
+
+    def add(self, thread, name, inode):
+        """Durably link ``name`` to ``inode``."""
+        if not name or b"/" in name:
+            raise ValueError("invalid file name: %r" % (name,))
+        self._append(thread, records.encode(name, _INODE.pack(inode)))
+        self._entries[name] = inode
+
+    def remove(self, thread, name):
+        """Durably unlink ``name``; returns the inode it pointed at."""
+        inode = self._entries.pop(name)
+        self._append(thread, records.encode(name, None))
+        return inode
+
+    def lookup(self, name):
+        return self._entries.get(name)
+
+    def names(self):
+        return sorted(self._entries)
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, name):
+        return name in self._entries
+
+
+class NameSpaceFS:
+    """Path-based facade over NovaFS: a root directory of named files.
+
+    Provides the POSIX-shaped calls the FIO-style examples want
+    (``create/open/write/read/unlink by name``) while NovaFS stays the
+    inode-level engine.  The root directory lives at a fixed inode
+    (the first one created on a fresh file system), so ``mount`` can
+    find it without extra metadata.
+    """
+
+    ROOT_INODE = 1
+
+    def __init__(self, fs, root):
+        self.fs = fs
+        self.root = root
+
+    @classmethod
+    def format(cls, fs, thread):
+        """Initialise a fresh namespace (allocates the root directory)."""
+        root = Directory.create(fs, thread)
+        if root.inode != cls.ROOT_INODE:
+            raise RuntimeError("namespace must be formatted first")
+        return cls(fs, root)
+
+    @classmethod
+    def mount(cls, fs):
+        """Reload the namespace from a recovered NovaFS."""
+        return cls(fs, Directory.load(fs, cls.ROOT_INODE))
+
+    # -- path operations ----------------------------------------------------------
+
+    def create(self, thread, name):
+        """Create and link an empty file; returns its inode."""
+        if name in self.root:
+            raise FileExistsError(name.decode("latin1"))
+        inode = self.fs.create(thread)
+        self.root.add(thread, name, inode)
+        return inode
+
+    def open(self, thread, name):
+        inode = self.root.lookup(name)
+        if inode is None:
+            raise FileNotFoundError(name.decode("latin1"))
+        return inode
+
+    def write(self, thread, name, offset, data):
+        self.fs.write(thread, self.open(thread, name), offset, data)
+
+    def read(self, thread, name, offset, size):
+        return self.fs.read(thread, self.open(thread, name), offset, size)
+
+    def unlink(self, thread, name):
+        """Remove the name, then reclaim the file."""
+        inode = self.root.remove(thread, name)
+        self.fs.unlink(thread, inode)
+
+    def rename(self, thread, old, new):
+        """Link-new-then-unlink-old (crash leaves at least one name)."""
+        inode = self.open(thread, old)
+        self.root.add(thread, new, inode)
+        self.root.remove(thread, old)
+
+    def listdir(self):
+        return self.root.names()

@@ -1,0 +1,331 @@
+"""NOVA: a log-structured file system for persistent memory.
+
+Per-inode logs hold metadata entries; file data lives in 4 KB pages
+updated copy-on-write (the original NOVA), or — with ``datalog=True``
+(the paper's NOVA-datalog, Section 5.1.2) — sub-page writes are
+embedded directly into the log and merged into pages lazily, turning
+random small writes into sequential appends without giving up atomic
+file updates.
+
+The volatile state (per-file page tables, embed overlays) is an index
+rebuilt from the logs on recovery, exactly as NOVA rebuilds its DRAM
+structures on mount.
+"""
+
+import struct
+import zlib
+
+from repro.fs.layout import (
+    INODE_TABLE_PAGE, PAGE, AllocationPolicy, PageAllocator, make_gaddr,
+    split_gaddr,
+)
+from repro.fs.log import (
+    EMBED_ENTRY, SIZE_ENTRY, WRITE_ENTRY, InodeLog, encode_embed_entry,
+    encode_size_entry, encode_write_entry,
+)
+
+#: inode-table slot: log_head u64 | tail_page u64 | tail_off u32 | crc u32
+_INODE_SLOT = struct.Struct("<QQII")
+INODE_SLOT_SIZE = 64
+MAX_INODES = ((16 - 1) * PAGE) // INODE_SLOT_SIZE
+
+#: syscall + VFS overhead for a kernel file system call.
+SYSCALL_NS = 500.0
+
+#: Compact a file's log once it accumulates this many entries.
+CLEANER_THRESHOLD = 512
+
+
+class NovaFile:
+    """Volatile state of one open file."""
+
+    __slots__ = ("inode", "log", "size", "pages", "overlays", "fs")
+
+    def __init__(self, fs, inode, log):
+        self.fs = fs
+        self.inode = inode
+        self.log = log
+        self.size = 0
+        self.pages = {}           # pgoff -> page gaddr
+        self.overlays = {}        # pgoff -> [(in_off, data_len, data)]
+
+
+class NovaFS:
+    """The file system: create/write/read/recover over pmem devices."""
+
+    def __init__(self, machine, kinds=("optane",), pinned=False,
+                 datalog=False, pages_per_device=12288, _mount=False):
+        self.machine = machine
+        self.datalog = datalog
+        self.devices = [machine.namespace(k) if isinstance(k, str) else k
+                        for k in kinds]
+        if len(self.devices) > 1 and not pinned:
+            raise ValueError("multiple devices require the pinned policy")
+        self.policy = AllocationPolicy(
+            [PageAllocator(i, pages_per_device)
+             for i in range(len(self.devices))],
+            pinned=pinned)
+        self._files = {}
+        self._next_inode = 1
+        if _mount:
+            self._recover()
+
+    # -- inode table -----------------------------------------------------------
+
+    def _slot_addr(self, inode):
+        return INODE_TABLE_PAGE * PAGE + inode * INODE_SLOT_SIZE
+
+    def _commit_inode(self, thread, f, fence=True):
+        """Persist the inode slot (log head + tail position), atomically
+        enough: the 24-byte payload is CRC'd, so recovery rejects torn
+        slots and falls back to scanning from the head."""
+        body = struct.pack("<QQI", f.log.head, f.log.tail_page,
+                           f.log.tail_off)
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        blob = body + struct.pack("<I", crc)
+        ns = self.devices[0]
+        ns.ntstore(thread, self._slot_addr(f.inode), len(blob), data=blob)
+        if fence:
+            thread.sfence()
+
+    # -- file operations ---------------------------------------------------------
+
+    def create(self, thread, name=None):
+        """Create an empty file; returns its inode number."""
+        inode = self._next_inode
+        if inode >= MAX_INODES:
+            raise RuntimeError("inode table full")
+        self._next_inode += 1
+        thread.sleep(SYSCALL_NS)
+        head = self.policy.alloc_for(thread)
+        log = InodeLog(self, head, thread=thread)
+        f = NovaFile(self, inode, log)
+        self._files[inode] = f
+        self._commit_inode(thread, f)
+        return inode
+
+    def write(self, thread, inode, offset, data, sync=True):
+        """Atomic file write: COW pages, or embed entries for sub-page
+        writes when datalog mode is on."""
+        thread.sleep(SYSCALL_NS)
+        f = self._files[inode]
+        pos = 0
+        while pos < len(data):
+            pgoff = (offset + pos) // PAGE
+            in_off = (offset + pos) % PAGE
+            chunk = min(PAGE - in_off, len(data) - pos)
+            piece = data[pos:pos + chunk]
+            if self.datalog and chunk < PAGE:
+                self._write_embed(thread, f, pgoff, in_off, piece)
+            else:
+                self._write_cow(thread, f, pgoff, in_off, piece)
+            pos += chunk
+        new_size = max(f.size, offset + len(data))
+        f.size = new_size
+        self._commit_inode(thread, f, fence=sync)
+        if f.log.length >= CLEANER_THRESHOLD:
+            self.clean(thread, inode)
+
+    def _write_cow(self, thread, f, pgoff, in_off, piece):
+        """Copy-on-write page update + a WriteEntry append."""
+        new_page = self.policy.alloc_for(thread)
+        dev, off = split_gaddr(new_page)
+        ns = self.devices[dev]
+        if in_off == 0 and len(piece) == PAGE:
+            page_data = bytearray(piece)       # full overwrite: no read
+        else:
+            page_data = bytearray(self._page_contents(thread, f, pgoff))
+            page_data[in_off:in_off + len(piece)] = piece
+        ns.ntstore(thread, off, PAGE, data=bytes(page_data))
+        thread.sfence()
+        entry = encode_write_entry(pgoff, new_page,
+                                   max(f.size, pgoff * PAGE + in_off
+                                       + len(piece)))
+        f.log.append(thread, entry)
+        old = f.pages.get(pgoff)
+        f.pages[pgoff] = new_page
+        f.overlays.pop(pgoff, None)
+        if old is not None:
+            self.policy.free(old)
+
+    def _write_embed(self, thread, f, pgoff, in_off, piece):
+        """NOVA-datalog: append the data itself to the log."""
+        entry = encode_embed_entry(
+            pgoff, in_off, bytes(piece),
+            max(f.size, pgoff * PAGE + in_off + len(piece)))
+        f.log.append(thread, entry)
+        f.overlays.setdefault(pgoff, []).append(
+            (in_off, len(piece), bytes(piece)))
+
+    def truncate(self, thread, inode, new_size):
+        """Atomically set the file size (shrinking drops pages)."""
+        thread.sleep(SYSCALL_NS)
+        f = self._files[inode]
+        if new_size >= f.size:
+            f.size = new_size
+            f.log.append(thread, encode_size_entry(new_size))
+            self._commit_inode(thread, f)
+            return
+        keep_pages = -(-new_size // PAGE) if new_size else 0
+        tail = new_size % PAGE
+        if tail and (keep_pages - 1) in f.pages:
+            # COW the final partial page with its tail zeroed.
+            pgoff = keep_pages - 1
+            page = bytearray(self._page_contents(thread, f, pgoff))
+            for in_off, dlen, data in f.overlays.get(pgoff, ()):
+                page[in_off:in_off + dlen] = data
+            page[tail:] = b"\x00" * (PAGE - tail)
+            self._write_cow(thread, f, pgoff, 0, bytes(page))
+        for pgoff in [p for p in f.pages if p >= keep_pages]:
+            self.policy.free(f.pages.pop(pgoff))
+            f.overlays.pop(pgoff, None)
+        for pgoff in [p for p in f.overlays if p >= keep_pages]:
+            f.overlays.pop(pgoff)
+        f.size = new_size
+        f.log.append(thread, encode_size_entry(new_size))
+        self._commit_inode(thread, f)
+
+    def unlink(self, thread, inode):
+        """Delete a file: zero its inode slot, reclaim its pages."""
+        thread.sleep(SYSCALL_NS)
+        f = self._files.pop(inode)
+        ns = self.devices[0]
+        ns.ntstore(thread, self._slot_addr(inode), INODE_SLOT_SIZE,
+                   data=b"\x00" * INODE_SLOT_SIZE)
+        thread.sfence()
+        for gaddr in f.pages.values():
+            self.policy.free(gaddr)
+        from repro.fs.cleaner import _reclaim_chain
+        _reclaim_chain(self, f.log.head)
+
+    def read(self, thread, inode, offset, size):
+        """Read, merging embedded writes over page contents."""
+        thread.sleep(SYSCALL_NS)
+        f = self._files[inode]
+        out = bytearray()
+        pos = 0
+        while pos < size:
+            pgoff = (offset + pos) // PAGE
+            in_off = (offset + pos) % PAGE
+            chunk = min(PAGE - in_off, size - pos)
+            page = self._merged_page(thread, f, pgoff)
+            out += page[in_off:in_off + chunk]
+            pos += chunk
+        return bytes(out[:max(0, min(size, f.size - offset))])
+
+    def _page_contents(self, thread, f, pgoff):
+        """Raw page bytes (no overlays), loading from the device."""
+        gaddr = f.pages.get(pgoff)
+        if gaddr is None:
+            return b"\x00" * PAGE
+        dev, off = split_gaddr(gaddr)
+        return self.devices[dev].pread(thread, off, PAGE)
+
+    def _merged_page(self, thread, f, pgoff):
+        page = bytearray(self._page_contents(thread, f, pgoff))
+        for in_off, dlen, data in f.overlays.get(pgoff, ()):
+            # The read path pays for loading each embedded extent too.
+            page[in_off:in_off + dlen] = data
+        overlays = f.overlays.get(pgoff, ())
+        if overlays:
+            thread.sleep(40.0 * len(overlays))      # merge bookkeeping
+        return page
+
+    def mmap(self, thread, inode, pgoff=0):
+        """DAX-map one page of a file; returns its global address.
+
+        The paper: NOVA-datalog "must merge sub-page updates into the
+        target page before memory-mapping" — a mapped page must be the
+        authoritative copy, so pending embedded writes are folded into
+        a fresh COW page first.
+        """
+        thread.sleep(SYSCALL_NS)
+        f = self._files[inode]
+        overlays = f.overlays.get(pgoff)
+        if overlays:
+            page = bytearray(self._page_contents(thread, f, pgoff))
+            for in_off, dlen, data in overlays:
+                page[in_off:in_off + dlen] = data
+            self._write_cow(thread, f, pgoff, 0, bytes(page))
+        if pgoff not in f.pages:
+            self._write_cow(thread, f, pgoff, 0, b"\x00" * PAGE)
+        return f.pages[pgoff]
+
+    def stat_size(self, inode):
+        return self._files[inode].size
+
+    # -- log cleaning (see repro.fs.cleaner) -------------------------------------
+
+    def clean(self, thread, inode):
+        from repro.fs.cleaner import clean_file
+        clean_file(self, thread, inode)
+
+    # -- recovery ---------------------------------------------------------------------
+
+    @classmethod
+    def mount(cls, machine, kinds=("optane",), pinned=False, datalog=False,
+              pages_per_device=12288):
+        """Rebuild volatile state from the persistent logs."""
+        return cls(machine, kinds=kinds, pinned=pinned, datalog=datalog,
+                   pages_per_device=pages_per_device, _mount=True)
+
+    def _recover(self):
+        ns = self.devices[0]
+        for inode in range(1, MAX_INODES):
+            raw = ns.read_persistent(self._slot_addr(inode),
+                                     INODE_SLOT_SIZE)
+            head, tail_page, tail_off, crc = _INODE_SLOT.unpack_from(raw)
+            body = raw[:_INODE_SLOT.size - 4]
+            if head == 0 or zlib.crc32(body) & 0xFFFFFFFF != crc:
+                continue
+            log = InodeLog(self, head)
+            f = NovaFile(self, inode, log)
+            applied = 0
+            for entry in log.scan_persistent():
+                applied += 1
+                if entry["type"] == WRITE_ENTRY:
+                    f.pages[entry["pgoff"]] = entry["page_gaddr"]
+                    f.overlays.pop(entry["pgoff"], None)
+                elif entry["type"] == EMBED_ENTRY:
+                    f.overlays.setdefault(entry["pgoff"], []).append(
+                        (entry["in_off"], len(entry["data"]),
+                         entry["data"]))
+                elif entry["type"] == SIZE_ENTRY:
+                    keep = -(-entry["file_size"] // PAGE)
+                    for pgoff in [p for p in f.pages if p >= keep]:
+                        f.pages.pop(pgoff)
+                    for pgoff in [p for p in f.overlays if p >= keep]:
+                        f.overlays.pop(pgoff)
+                # Entries are applied in append order, so the last
+                # entry's size is authoritative (truncate support).
+                f.size = entry["file_size"]
+            log.length = applied
+            self._files[inode] = f
+            self._next_inode = max(self._next_inode, inode + 1)
+            # Re-reserve every page the file owns so fresh allocations
+            # cannot overwrite live data or log pages.
+            for gaddr in list(f.pages.values()) + log.pages_seen:
+                dev, _ = split_gaddr(gaddr)
+                self.policy.allocators[dev].reserve(gaddr)
+
+    def read_persistent_file(self, inode, offset, size):
+        """Post-crash file contents without simulated cost (test aid)."""
+        f = self._files[inode]
+        out = bytearray()
+        pos = 0
+        while pos < size:
+            pgoff = (offset + pos) // PAGE
+            in_off = (offset + pos) % PAGE
+            chunk = min(PAGE - in_off, size - pos)
+            gaddr = f.pages.get(pgoff)
+            if gaddr is None:
+                page = bytearray(PAGE)
+            else:
+                dev, off = split_gaddr(gaddr)
+                page = bytearray(
+                    self.devices[dev].read_persistent(off, PAGE))
+            for o, dlen, data in f.overlays.get(pgoff, ()):
+                page[o:o + dlen] = data
+            out += page[in_off:in_off + chunk]
+            pos += chunk
+        return bytes(out[:max(0, min(size, f.size - offset))])

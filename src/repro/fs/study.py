@@ -1,0 +1,122 @@
+"""File-system case studies: Figures 12 and 17.
+
+Figure 12: random-overwrite and read latency across XFS-DAX(+sync),
+Ext4-DAX(+sync), NOVA and NOVA-datalog.  Figure 17: FIO bandwidth on
+NOVA with interleaved allocation versus multi-DIMM-aware (pinned)
+allocation.
+"""
+
+import random
+import statistics
+from dataclasses import dataclass
+
+from repro._units import KIB
+from repro.fs.dax import DAXFileSystem
+from repro.fs.fio import run_fio
+from repro.fs.nova import NovaFS
+from repro.sim import Machine
+
+
+@dataclass
+class IOLatency:
+    """Mean latency of one file-IO microbenchmark, in ns."""
+
+    system: str
+    op: str
+    size: int
+    mean_ns: float
+
+
+FIG12_SYSTEMS = (
+    "xfs-dax-sync", "xfs-dax", "ext4-dax-sync", "ext4-dax",
+    "nova", "nova-datalog",
+)
+
+
+def _make_fs(machine, system):
+    if system.startswith("xfs"):
+        return DAXFileSystem(machine, flavor="xfs")
+    if system.startswith("ext4"):
+        return DAXFileSystem(machine, flavor="ext4")
+    return NovaFS(machine, datalog=system.endswith("datalog"))
+
+
+def file_io_latency(system, op="overwrite", size=64, ops=300,
+                    file_kb=256, machine=None, seed=5):
+    """One bar of Figure 12."""
+    m = machine if machine is not None else Machine()
+    fs = _make_fs(m, system)
+    t = m.thread()
+    inode = _prepared_file(fs, t, system, file_kb)
+    rng = random.Random(seed)
+    sync = system.endswith("sync")
+    span = file_kb * KIB
+    lats = []
+    for _ in range(ops):
+        offset = rng.randrange(span // size) * size
+        start = t.now
+        if op == "overwrite":
+            payload = bytes(rng.getrandbits(8) for _ in range(min(8, size)))
+            payload = (payload * (size // len(payload) + 1))[:size]
+            if isinstance(fs, DAXFileSystem):
+                fs.write(t, inode, offset, payload, sync=sync)
+            else:
+                fs.write(t, inode, offset, payload)
+        else:
+            fs.read(t, inode, offset, size)
+        lats.append(t.now - start)
+    return IOLatency(system=system, op=op, size=size,
+                     mean_ns=statistics.fmean(lats))
+
+
+def _prepared_file(fs, thread, system, file_kb):
+    blocks = file_kb // 4
+    if isinstance(fs, DAXFileSystem):
+        inode = fs.create(thread, npages=blocks)
+    else:
+        inode = fs.create(thread)
+    chunk = b"\xAB" * (4 * KIB)
+    for b in range(blocks):
+        fs.write(thread, inode, b * 4 * KIB, chunk)
+    return inode
+
+
+def figure12(systems=FIG12_SYSTEMS, ops=300):
+    """All bars: 64 B / 256 B overwrites and 4 KB reads."""
+    out = {}
+    for system in systems:
+        out[system, "overwrite", 64] = file_io_latency(
+            system, "overwrite", 64, ops=ops)
+        out[system, "overwrite", 256] = file_io_latency(
+            system, "overwrite", 256, ops=ops)
+        out[system, "read", 4096] = file_io_latency(
+            system, "read", 4096, ops=ops)
+    return out
+
+
+def figure17(threads=24, block=4 * KIB, ios=96, file_blocks=48):
+    """Multi-DIMM NOVA: interleaved vs pinned, sync vs async.
+
+    Returns ``{(workload, config): FIOResult}`` where workload is
+    (op, pattern) and config is "I,sync" / "NI,sync" / "I,async" /
+    "NI,async".
+    """
+    out = {}
+    for op in ("read", "write"):
+        for pattern in ("seq", "rand"):
+            for pinned in (False, True):
+                for engine in ("sync", "async"):
+                    m = Machine()
+                    if pinned:
+                        kinds = [m.namespace("optane-ni", dimm=d)
+                                 for d in range(6)]
+                        fs = NovaFS(m, kinds=kinds, pinned=True,
+                                    datalog=False)
+                    else:
+                        fs = NovaFS(m, kinds=("optane",))
+                    label = "%s,%s" % ("NI" if pinned else "I", engine)
+                    out[(op, pattern), label] = run_fio(
+                        fs, m, op=op, pattern=pattern, engine=engine,
+                        threads=threads, block_size=block,
+                        file_blocks=file_blocks, ios=ios)
+    return out

@@ -1,0 +1,231 @@
+"""The LSM key-value store (the RocksDB stand-in of Section 4.2).
+
+Three durability strategies, selected by ``mode``:
+
+* ``"wal-posix"``          — volatile memtable + WAL via write()/fsync();
+* ``"wal-flex"``           — volatile memtable + FLEX userspace log;
+* ``"persistent-memtable"``— no WAL; the memtable *is* a
+  crash-consistent skiplist in persistent memory.
+
+Everything else (SSTable flushes, L0->L1 compaction, manifest commits,
+recovery) is shared.  The store is real software over simulated
+memory: every durable byte round-trips through the namespace and
+crash-recovers via :meth:`LSMStore.recover`.
+"""
+
+from repro._units import KIB, MIB, align_up
+from repro.kvstore.manifest import Manifest
+from repro.kvstore.memtable import VolatileMemtable
+from repro.kvstore.persistent_skiplist import PersistentSkipList
+from repro.kvstore.sstable import SSTable
+from repro.kvstore.wal import WalFlex, WalPosix
+
+MODES = ("wal-posix", "wal-flex", "persistent-memtable")
+
+#: Region layout inside the namespace (fixed, so recovery needs no
+#: external state).
+MANIFEST_BASE = 0
+WAL_BASE = 64 * KIB
+WAL_CAPACITY = 8 * MIB
+ARENA_BASE = WAL_BASE + WAL_CAPACITY
+ARENA_CAPACITY = 16 * MIB
+TABLES_BASE = ARENA_BASE + ARENA_CAPACITY
+
+#: Flush the memtable once it holds this much payload.
+DEFAULT_MEMTABLE_BYTES = 256 * KIB
+#: Compact L0 into L1 when this many L0 tables accumulate.
+L0_COMPACTION_TRIGGER = 6
+
+
+class LSMStore:
+    """An embedded ordered KV store over one pmem namespace."""
+
+    def __init__(self, machine, mode="wal-flex", kind="optane",
+                 memtable_bytes=DEFAULT_MEMTABLE_BYTES, seed=0,
+                 _recovering=False):
+        if mode not in MODES:
+            raise ValueError("unknown mode %r (choose from %s)"
+                             % (mode, ", ".join(MODES)))
+        self.machine = machine
+        self.mode = mode
+        self.ns = machine.namespace(kind)
+        self.memtable_bytes = memtable_bytes
+        self.seed = seed
+        self.manifest = Manifest(self.ns, MANIFEST_BASE)
+        self.tables = []             # [(level, SSTable)] newest L0 first
+        self._next_table_base = TABLES_BASE
+        self._arena_epoch = 0
+        if not _recovering:
+            self._fresh_memtable()
+
+    # -- memtable/WAL plumbing ------------------------------------------------
+
+    def _fresh_memtable(self):
+        if self.mode == "persistent-memtable":
+            base = ARENA_BASE + (self._arena_epoch % 2) * (ARENA_CAPACITY // 2)
+            self.memtable = PersistentSkipList(
+                self.ns, base, ARENA_CAPACITY // 2,
+                seed=self.seed + self._arena_epoch)
+            self.wal = None
+        else:
+            self.memtable = VolatileMemtable(
+                seed=self.seed + self._arena_epoch)
+            wal_cls = WalPosix if self.mode == "wal-posix" else WalFlex
+            self.wal = wal_cls(self.ns, WAL_BASE, WAL_CAPACITY)
+        self._arena_epoch += 1
+
+    # -- client operations -------------------------------------------------------
+
+    def put(self, thread, key, value, sync=True):
+        """Durably (if ``sync``) insert one pair."""
+        if self.mode == "persistent-memtable":
+            self.memtable.put(thread, key, value)
+        else:
+            self.wal.append(thread, key, value, sync=sync)
+            self.memtable.put(thread, key, value)
+        if self.memtable.approximate_bytes >= self.memtable_bytes:
+            self.flush(thread)
+
+    def delete(self, thread, key, sync=True):
+        """Durably delete one key (a tombstone record)."""
+        if self.mode == "persistent-memtable":
+            self.memtable.delete(thread, key)
+        else:
+            self.wal.append(thread, key, None, sync=sync)
+            self.memtable.delete(thread, key)
+        if self.memtable.approximate_bytes >= self.memtable_bytes:
+            self.flush(thread)
+
+    def get(self, thread, key):
+        """Point lookup: memtable, then tables newest-first.
+
+        A tombstone anywhere shadows older versions (returns None).
+        """
+        found, value = self.memtable.lookup(thread, key)
+        if found:
+            return value
+        for _, table in self.tables:
+            found, value = table.lookup(thread, key)
+            if found:
+                return value
+        return None
+
+    def scan(self, thread, start=None, end=None):
+        """Ordered iteration over the live keys in ``[start, end)``.
+
+        Merges the memtable over the tables (newest version wins) and
+        drops tombstones.  The merge itself is CPU work, charged per
+        merged entry; the table bytes were already durable-read when
+        written, so no additional device traffic is modelled here.
+        """
+        merged = {}
+        for _, table in reversed(self.tables):       # oldest first
+            for key, value in table.items():
+                merged[key] = value
+        for key, value in self.memtable.items():
+            merged[key] = value
+        out = []
+        for key in sorted(merged):
+            if start is not None and key < start:
+                continue
+            if end is not None and key >= end:
+                break
+            value = merged[key]
+            if value is None:
+                continue
+            out.append((key, value))
+        thread.sleep(25.0 * max(1, len(merged)))
+        return out
+
+    # -- flush / compaction --------------------------------------------------------
+
+    def flush(self, thread):
+        """Write the memtable out as an L0 SSTable and reset it."""
+        pairs = list(self.memtable.items())
+        if pairs:
+            table = SSTable.build(self.ns, thread, self._next_table_base,
+                                  pairs)
+            self._next_table_base = align_up(
+                self._next_table_base + table.size, 4 * KIB)
+            self.tables.insert(0, (0, table))
+            self._commit_manifest(thread)
+        if self.wal is not None:
+            self.wal.reset()
+        if self.mode == "persistent-memtable":
+            # Retire the old arena *after* the SSTable and manifest are
+            # durable: zero its head pointer so recovery sees it empty.
+            old_base = self.memtable.base
+            self.ns.pwrite(thread, old_base, b"\x00" * 8, instr="ntstore")
+        self._fresh_memtable()
+        if sum(1 for lvl, _ in self.tables if lvl == 0) \
+                >= L0_COMPACTION_TRIGGER:
+            self.compact(thread)
+
+    def compact(self, thread):
+        """Merge every table into a single L1 run (newest value wins).
+
+        A full merge sees every version of a key, so tombstones are
+        dropped here rather than rewritten.
+        """
+        merged = {}
+        for _, table in reversed(self.tables):   # oldest first
+            for key, value in table.items():
+                merged[key] = value
+        pairs = sorted((k, v) for k, v in merged.items()
+                       if v is not None)
+        table = SSTable.build(self.ns, thread, self._next_table_base, pairs)
+        self._next_table_base = align_up(
+            self._next_table_base + table.size, 4 * KIB)
+        self.tables = [(1, table)]
+        self._commit_manifest(thread)
+
+    def _commit_manifest(self, thread):
+        self.manifest.commit(thread, [
+            (table.base, table.size, level)
+            for level, table in self.tables
+        ])
+
+    # -- recovery ----------------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, machine, mode="wal-flex", kind="optane", seed=0,
+                memtable_bytes=DEFAULT_MEMTABLE_BYTES):
+        """Rebuild a store from the namespace's persistent contents."""
+        store = cls(machine, mode=mode, kind=kind, seed=seed,
+                    memtable_bytes=memtable_bytes, _recovering=True)
+        _, entries = store.manifest.load()
+        for base, size, level in entries:
+            store.tables.append((level, SSTable.open(store.ns, base, size)))
+            end = align_up(base + size, 4 * KIB)
+            if end > store._next_table_base:
+                store._next_table_base = end
+        store.tables.sort(key=lambda t: (t[0], -t[1].base))
+        if mode == "persistent-memtable":
+            # Either arena may hold the live memtable; pick the fuller.
+            candidates = [
+                PersistentSkipList.recover(
+                    store.ns, ARENA_BASE + half * (ARENA_CAPACITY // 2),
+                    ARENA_CAPACITY // 2)
+                for half in (0, 1)
+            ]
+            store.memtable = max(candidates, key=len)
+            store.wal = None
+        else:
+            store.memtable = VolatileMemtable(seed=seed)
+            wal_cls = WalPosix if mode == "wal-posix" else WalFlex
+            store.wal = wal_cls(store.ns, WAL_BASE, WAL_CAPACITY)
+            replay_thread = machine.thread()
+            for key, value in store.wal.replay():
+                store.memtable.put(replay_thread, key, value)
+        store._arena_epoch = 2
+        return store
+
+    # -- introspection ------------------------------------------------------------------
+
+    def stats(self):
+        return {
+            "mode": self.mode,
+            "memtable_entries": len(self.memtable),
+            "memtable_bytes": self.memtable.approximate_bytes,
+            "tables": [(lvl, t.base, t.size) for lvl, t in self.tables],
+        }

@@ -1,0 +1,69 @@
+"""A crash-safe manifest: which SSTables exist, at which addresses.
+
+Two slots, written alternately, each carrying a sequence number and a
+CRC; recovery picks the newest intact slot.  This is the standard
+atomic-superblock trick (LevelDB's MANIFEST/CURRENT collapsed into a
+fixed-size record, which suffices here because tables are few).
+"""
+
+import struct
+import zlib
+
+_SLOT_HEADER = struct.Struct("<IQI")      # crc | seq | count
+_ENTRY = struct.Struct("<QQQ")            # base | size | level
+SLOT_SIZE = 4096
+MAX_TABLES = (SLOT_SIZE - _SLOT_HEADER.size) // _ENTRY.size
+
+
+class Manifest:
+    """Persistent table-of-tables at a fixed namespace region."""
+
+    def __init__(self, ns, base):
+        self.ns = ns
+        self.base = base
+        self._seq = 0
+
+    @property
+    def capacity(self):
+        return 2 * SLOT_SIZE
+
+    def _encode(self, entries):
+        if len(entries) > MAX_TABLES:
+            raise ValueError("too many tables for one manifest slot")
+        body = struct.pack("<QI", self._seq, len(entries))
+        for base, size, level in entries:
+            body += _ENTRY.pack(base, size, level)
+        crc = zlib.crc32(body) & 0xFFFFFFFF
+        return struct.pack("<I", crc) + body
+
+    def commit(self, thread, entries):
+        """Durably record ``entries`` = [(base, size, level)]."""
+        self._seq += 1
+        blob = self._encode(entries)
+        slot = self.base + (self._seq % 2) * SLOT_SIZE
+        self.ns.pwrite(thread, slot, blob, instr="ntstore")
+
+    def load(self):
+        """Read back the newest intact slot from the persistent view.
+
+        Returns ``(seq, [(base, size, level)])``; (0, []) if none.
+        """
+        best_seq, best = 0, []
+        for slot in (self.base, self.base + SLOT_SIZE):
+            raw = self.ns.read_persistent(slot, SLOT_SIZE)
+            crc = struct.unpack_from("<I", raw)[0]
+            seq, count = struct.unpack_from("<QI", raw, 4)
+            body_len = 12 + count * _ENTRY.size
+            if body_len > SLOT_SIZE - 4:
+                continue
+            body = bytes(raw[4:4 + body_len])
+            if zlib.crc32(body) & 0xFFFFFFFF != crc:
+                continue
+            if seq > best_seq:
+                entries = [
+                    _ENTRY.unpack_from(body, 12 + i * _ENTRY.size)
+                    for i in range(count)
+                ]
+                best_seq, best = seq, entries
+        self._seq = best_seq
+        return best_seq, best

@@ -1,0 +1,71 @@
+"""On-media record encoding shared by the WAL and the SSTables.
+
+A record is::
+
+    u32 crc (of everything after it) | u16 flags+klen | u32 vlen |
+    key | value
+
+The top bit of the klen field marks a *tombstone* (a delete); decoding
+a tombstone yields ``value = None``.  CRCs make recovery honest: a
+torn append (crash mid-record) is detected and replay stops there,
+exactly like LevelDB/RocksDB log replay.
+"""
+
+import struct
+import zlib
+
+_HEADER = struct.Struct("<IHI")
+HEADER_SIZE = _HEADER.size
+_TOMBSTONE_FLAG = 0x8000
+_KLEN_MASK = 0x7FFF
+
+
+def encode(key, value):
+    """Serialize one record; ``value=None`` encodes a tombstone."""
+    if len(key) > _KLEN_MASK:
+        raise ValueError("key too long")
+    if value is None:
+        klen_field = len(key) | _TOMBSTONE_FLAG
+        value = b""
+    else:
+        klen_field = len(key)
+    body = struct.pack("<HI", klen_field, len(value)) + key + value
+    return struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF) + body
+
+
+def encoded_size(key, value):
+    return HEADER_SIZE + len(key) + len(value or b"")
+
+
+def decode(buf, offset=0):
+    """Decode one record at ``offset``.
+
+    Returns ``(key, value, next_offset)`` — ``value is None`` for a
+    tombstone — or None if the bytes do not form a valid record (torn
+    write, zeroed space, corruption).
+    """
+    if offset + HEADER_SIZE > len(buf):
+        return None
+    crc, klen_field, vlen = _HEADER.unpack_from(buf, offset)
+    klen = klen_field & _KLEN_MASK
+    end = offset + HEADER_SIZE + klen + vlen
+    if end > len(buf):
+        return None
+    body = bytes(buf[offset + 4:end])
+    if crc != (zlib.crc32(body) & 0xFFFFFFFF):
+        return None
+    key = body[6:6 + klen]
+    value = body[6 + klen:]
+    if klen_field & _TOMBSTONE_FLAG:
+        return key, None, end
+    return key, value, end
+
+
+def scan(buf, offset=0):
+    """Yield valid records until the first invalid one."""
+    while True:
+        rec = decode(buf, offset)
+        if rec is None:
+            return
+        key, value, offset = rec
+        yield key, value

@@ -1,0 +1,145 @@
+"""SSTables: immutable sorted runs on persistent memory.
+
+An SSTable is written once, sequentially, with non-temporal stores
+(the paper-approved shape for bulk persistence) and read with binary
+search over a sparse index.  Format::
+
+    [record]*                      -- records.encode() back to back
+    [index: u32 count | (u16 klen | key | u64 offset)*]
+    [footer: u64 index_offset | u64 data_size | u32 magic]
+
+A Bloom filter (built in DRAM at open/build time) short-circuits
+lookups for absent keys, as in LevelDB/RocksDB.
+"""
+
+import struct
+
+from repro.kvstore import records
+from repro.kvstore.bloom import BloomFilter
+
+_FOOTER = struct.Struct("<QQI")
+_MAGIC = 0x55AA1234
+_INDEX_HEAD = struct.Struct("<I")
+_INDEX_ENTRY_HEAD = struct.Struct("<H")
+_OFFSET = struct.Struct("<Q")
+
+#: Sparse index granularity: one index entry per this many records.
+INDEX_EVERY = 8
+
+
+class SSTable:
+    """One immutable sorted run inside a namespace region."""
+
+    def __init__(self, ns, base, size, index, bloom, smallest, largest):
+        self.ns = ns
+        self.base = base
+        self.size = size
+        self._index = index          # sorted [(key, offset)]
+        self._bloom = bloom
+        self.smallest = smallest
+        self.largest = largest
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, ns, thread, base, pairs):
+        """Write sorted ``pairs`` at ``base``; returns the table.
+
+        ``pairs`` must be sorted by key (memtable iteration order).
+        """
+        data = bytearray()
+        index = []
+        bloom = BloomFilter(capacity=max(16, len(pairs)))
+        for i, (key, value) in enumerate(pairs):
+            if i % INDEX_EVERY == 0:
+                index.append((key, len(data)))
+            bloom.add(key)
+            data += records.encode(key, value)
+        data_size = len(data)
+        index_blob = bytearray(_INDEX_HEAD.pack(len(index)))
+        for key, offset in index:
+            index_blob += _INDEX_ENTRY_HEAD.pack(len(key))
+            index_blob += key
+            index_blob += _OFFSET.pack(offset)
+        blob = bytes(data) + bytes(index_blob) + _FOOTER.pack(
+            data_size, data_size + len(index_blob), _MAGIC)
+        ns.pwrite(thread, base, blob, instr="ntstore")
+        smallest = pairs[0][0] if pairs else b""
+        largest = pairs[-1][0] if pairs else b""
+        return cls(ns, base, len(blob), index, bloom, smallest, largest)
+
+    @classmethod
+    def open(cls, ns, base, size):
+        """Re-open a table from its persistent bytes (recovery path)."""
+        blob = ns.read_persistent(base, size)
+        data_size, footer_off, magic = _FOOTER.unpack_from(
+            blob, size - _FOOTER.size)
+        if magic != _MAGIC:
+            raise ValueError("bad SSTable magic at %#x" % base)
+        count = _INDEX_HEAD.unpack_from(blob, data_size)[0]
+        pos = data_size + _INDEX_HEAD.size
+        index = []
+        for _ in range(count):
+            klen = _INDEX_ENTRY_HEAD.unpack_from(blob, pos)[0]
+            pos += _INDEX_ENTRY_HEAD.size
+            key = bytes(blob[pos:pos + klen])
+            pos += klen
+            offset = _OFFSET.unpack_from(blob, pos)[0]
+            pos += _OFFSET.size
+            index.append((key, offset))
+        bloom = BloomFilter(capacity=max(16, count * INDEX_EVERY))
+        smallest = largest = b""
+        for key, value in records.scan(blob[:data_size]):
+            bloom.add(key)
+            if not smallest:
+                smallest = key
+            largest = key
+        return cls(ns, base, size, index, bloom, smallest, largest)
+
+    # -- lookups -----------------------------------------------------------------
+
+    def may_contain(self, key):
+        return self._bloom.may_contain(key) and \
+            self.smallest <= key <= self.largest
+
+    def get(self, thread, key):
+        """Timed point lookup; returns the value or None."""
+        return self.lookup(thread, key)[1]
+
+    def lookup(self, thread, key):
+        """Timed lookup returning ``(found, value)``.
+
+        A tombstone record yields ``(True, None)`` so LSM reads can
+        stop searching older tables.
+        """
+        if not self.may_contain(key):
+            return False, None
+        lo, hi = 0, len(self._index)
+        while hi - lo > 1:                       # binary search the index
+            mid = (lo + hi) // 2
+            if self._index[mid][0] <= key:
+                lo = mid
+            else:
+                hi = mid
+        offset = self._index[lo][1] if self._index else 0
+        # Scan up to INDEX_EVERY records, loading each from the device.
+        for _ in range(INDEX_EVERY):
+            window = self.ns.read_volatile(
+                self.base + offset, min(self.size - offset, 4096))
+            rec = records.decode(window)
+            if rec is None:
+                return False, None
+            rkey, rvalue, consumed = rec
+            self.ns.load(thread, self.base + offset, consumed)
+            if rkey == key:
+                return True, rvalue
+            if rkey > key:
+                return False, None
+            offset += consumed
+        return False, None
+
+    def items(self):
+        """All pairs, decoded from the volatile view."""
+        blob = self.ns.read_volatile(self.base, self.size)
+        data_size, _, _ = _FOOTER.unpack_from(blob, self.size - _FOOTER.size)
+        return list(records.scan(blob[:data_size]))

@@ -1,0 +1,110 @@
+"""Write-ahead logging: the POSIX path and the FLEX path.
+
+The two strategies of the paper's RocksDB case study (Section 4.2):
+
+* **WalPosix** — the log is a file on a DAX file system, appended with
+  ``write()`` + ``fsync()``.  The write copies the record through the
+  cache hierarchy at the file's (unaligned) tail — so consecutive
+  appends rewrite the shared tail line — and every fsync pays syscall
+  overhead, flushes the dirty lines, and commits a metadata journal
+  record.
+* **WalFlex** — FLEX-style userspace logging: records are appended
+  directly with cache-bypassing stores at 64 B alignment, one fence per
+  sync, no block rewrite and no syscall.
+
+Both recover by CRC-scanning the log (see :mod:`repro.kvstore.records`).
+"""
+
+from repro._units import CACHELINE, align_up
+from repro.kvstore import records
+
+#: Syscall + VFS overhead per write() and per fsync() on the POSIX
+#: path, and the DAX file-system's per-sync metadata journaling write.
+POSIX_WRITE_SYSCALL_NS = 600.0
+POSIX_FSYNC_SYSCALL_NS = 400.0
+POSIX_JOURNAL_BYTES = 128
+#: Record encode + bookkeeping cost of the userspace FLEX library.
+FLEX_LIBRARY_NS = 190.0
+
+
+class WalBase:
+    """Common state: a log region [base, base+capacity) on a namespace."""
+
+    def __init__(self, ns, base, capacity):
+        self.ns = ns
+        self.base = base
+        self.capacity = capacity
+        self.tail = 0            # bytes appended so far
+
+    @property
+    def tail_addr(self):
+        return self.base + self.tail
+
+    def _check_space(self, nbytes):
+        if self.tail + nbytes > self.capacity:
+            raise RuntimeError("WAL full: %d + %d > %d"
+                               % (self.tail, nbytes, self.capacity))
+
+    def _advance(self, record_len):
+        """Log-space consumed by one record (subclasses may pad)."""
+        return record_len
+
+    def replay(self):
+        """Recover all intact records from the *persistent* view."""
+        buf = self.ns.read_persistent(self.base, self.capacity)
+        out = []
+        offset = 0
+        while True:
+            rec = records.decode(buf, offset)
+            if rec is None:
+                break
+            key, value, end = rec
+            out.append((key, value))
+            offset += self._advance(end - offset)
+        self.tail = offset
+        return out
+
+    def reset(self):
+        """Logically truncate (a real system would rotate log files)."""
+        self.tail = 0
+
+
+class WalPosix(WalBase):
+    """write()+fsync() through a DAX file system."""
+
+    def append(self, thread, key, value, sync=True):
+        record = records.encode(key, value)
+        self._check_space(len(record))
+        thread.sleep(POSIX_WRITE_SYSCALL_NS)
+        # write(): the kernel copies the record through the cache
+        # hierarchy at the unaligned tail, so back-to-back appends
+        # rewrite the shared tail line.
+        self.ns.store(thread, self.tail_addr, len(record), data=record)
+        if sync:
+            thread.sleep(POSIX_FSYNC_SYSCALL_NS)
+            self.ns.clwb(thread, self.tail_addr, len(record))
+            # Metadata journal commit (file-size update).
+            self.ns.ntstore(thread, self.base + self.capacity
+                            - POSIX_JOURNAL_BYTES, POSIX_JOURNAL_BYTES)
+            thread.sfence()
+        self.tail += len(record)
+
+
+class WalFlex(WalBase):
+    """FLEX: direct, 64 B-aligned non-temporal appends from userspace."""
+
+    def _advance(self, record_len):
+        return align_up(record_len, CACHELINE)
+
+    def append(self, thread, key, value, sync=True):
+        record = records.encode(key, value)
+        thread.sleep(FLEX_LIBRARY_NS)
+        # Pad each record to cache-line alignment so appends never
+        # rewrite a previously persisted line (FLEX's key trick).
+        padded = align_up(len(record), CACHELINE)
+        self._check_space(padded)
+        self.ns.ntstore(thread, self.tail_addr, padded,
+                        data=record + b"\x00" * (padded - len(record)))
+        if sync:
+            thread.sfence()
+        self.tail += padded

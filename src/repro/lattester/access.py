@@ -1,0 +1,129 @@
+"""Access kernels: the inner loops every LATTester experiment shares.
+
+A *kernel* is a generator that drives one simulated thread through a
+stream of memory accesses, yielding to the scheduler after every 64 B
+beat so that cross-thread interleaving at the iMC and DIMM is modelled
+at the same granularity as the hardware's.
+
+Thread placement matters on this platform: ``staggered_base`` hands
+each thread a stripe-aligned private region whose first block lands on
+DIMM ``tid % 6``, which is how the paper's peak-bandwidth numbers
+spread load evenly across the interleave set.
+"""
+
+import random
+
+from repro._units import CACHELINE, KIB, align_up
+
+
+def staggered_base(tid, span, block_bytes=4 * KIB, dimms=6):
+    """A private, stripe-aligned region base for thread ``tid``.
+
+    The base is shifted by ``(tid % dimms)`` interleave blocks so that
+    concurrent sequential streams start on distinct DIMMs.
+    """
+    stripe = block_bytes * dimms
+    region = align_up(span + stripe, stripe)
+    return tid * region + (tid % dimms) * block_bytes
+
+
+def address_stream(base, span, access, pattern, seed=0, stride=None):
+    """Yield access addresses of the given size/pattern inside a region.
+
+    Patterns: ``"seq"`` (contiguous), ``"rand"`` (uniform over the
+    region) or ``"stride"`` (fixed-stride walk — the third axis of the
+    paper's systematic sweep; pass ``stride`` in bytes, default 4x the
+    access size).
+    """
+    count = span // access
+    if pattern == "seq":
+        for i in range(count):
+            yield base + i * access
+    elif pattern == "rand":
+        rng = random.Random(seed)
+        slots = span // access
+        for _ in range(count):
+            yield base + rng.randrange(slots) * access
+    elif pattern == "stride":
+        step = stride if stride is not None else 4 * access
+        slots = max(1, span // step)
+        for i in range(count):
+            yield base + (i % slots) * step
+    else:
+        raise ValueError("unknown pattern: %r" % (pattern,))
+
+
+def read_kernel(ns, thread, addrs, access, delay_ns=0.0):
+    """Issue loads; yields after every cache line."""
+    for addr in addrs:
+        for off in range(0, access, CACHELINE):
+            ns.load(thread, addr + off)
+            yield
+        if delay_ns:
+            thread.sleep(delay_ns)
+
+
+def ntstore_kernel(ns, thread, addrs, access, fence_every=None,
+                   delay_ns=0.0):
+    """Issue non-temporal stores; yields after every cache line.
+
+    ``fence_every`` inserts an sfence after that many bytes (None means
+    one fence at the very end, as a bandwidth benchmark would).
+    """
+    since_fence = 0
+    for addr in addrs:
+        for off in range(0, access, CACHELINE):
+            ns.ntstore(thread, addr + off)
+            since_fence += CACHELINE
+            if fence_every and since_fence >= fence_every:
+                thread.sfence()
+                since_fence = 0
+            yield
+        if delay_ns:
+            thread.sleep(delay_ns)
+    thread.sfence()
+
+
+def store_clwb_kernel(ns, thread, addrs, access, flush=True,
+                      flush_at_end=False, fence_every=None, delay_ns=0.0):
+    """Cached stores, optionally followed by per-line clwb.
+
+    ``flush=False`` gives the "store only" curve (durability left to
+    natural cache evictions); ``flush_at_end`` issues the clwbs after
+    the whole access instead of after each line (Figure 14's
+    ``clwb(write size)`` variant).
+    """
+    since_fence = 0
+    for addr in addrs:
+        for off in range(0, access, CACHELINE):
+            line = addr + off
+            ns.store(thread, line)
+            if flush and not flush_at_end:
+                ns.clwb(thread, line)
+            since_fence += CACHELINE
+            if fence_every and since_fence >= fence_every:
+                thread.sfence()
+                since_fence = 0
+            yield
+        if flush and flush_at_end:
+            for off in range(0, access, CACHELINE):
+                ns.clwb(thread, addr + off)
+                yield
+        if delay_ns:
+            thread.sleep(delay_ns)
+    if flush:
+        thread.sfence()
+
+
+def make_kernel(op, ns, thread, addrs, access, **kwargs):
+    """Kernel factory: ``op`` is 'read', 'ntstore', 'clwb' or 'store'."""
+    if op == "read":
+        return read_kernel(ns, thread, addrs, access, **kwargs)
+    if op == "ntstore":
+        return ntstore_kernel(ns, thread, addrs, access, **kwargs)
+    if op == "clwb":
+        return store_clwb_kernel(ns, thread, addrs, access, **kwargs)
+    if op == "store":
+        return store_clwb_kernel(
+            ns, thread, addrs, access, flush=False, **kwargs)
+    raise ValueError("unknown op: %r" % (op,))

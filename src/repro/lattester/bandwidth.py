@@ -1,0 +1,101 @@
+"""Bandwidth measurement (Figures 4, 5, 13, 14, 16, 18).
+
+``measure_bandwidth`` runs N concurrent kernels over private regions
+and reports aggregate GB/s plus the EWR observed on the namespace's
+DIMMs during the run.
+"""
+
+from dataclasses import dataclass
+
+from repro._units import KIB, gb_per_s
+from repro.lattester.access import address_stream, make_kernel, staggered_base
+from repro.sim import Machine, aggregate, effective_write_ratio, run_workloads
+
+
+@dataclass
+class BandwidthResult:
+    """Aggregate outcome of one bandwidth experiment."""
+
+    gbps: float
+    elapsed_ns: float
+    total_bytes: int
+    ewr: float
+    threads: int
+    op: str
+    access: int
+    pattern: str
+
+    def __repr__(self):
+        return ("BandwidthResult(%s %s/%dB x%d: %.2f GB/s, EWR %.2f)"
+                % (self.op, self.pattern, self.access, self.threads,
+                   self.gbps, self.ewr))
+
+
+def measure_bandwidth(kind="optane", op="read", threads=4, access=256,
+                      pattern="seq", per_thread=256 * KIB, machine=None,
+                      socket=0, ns_socket=None, drain=True, stride=None,
+                      **kernel_kwargs):
+    """Run one bandwidth experiment on a fresh (or given) machine.
+
+    ``kind`` selects the namespace ("optane", "optane-ni", "dram", ...);
+    ``op`` is 'read', 'ntstore', 'clwb' or 'store'; threads are pinned
+    to ``socket`` while the namespace may live elsewhere (NUMA tests
+    pass ``kind="optane-remote"``).
+    """
+    m = machine if machine is not None else Machine()
+    ns = m.namespace(kind) if ns_socket is None else \
+        m.namespace(kind, socket=ns_socket)
+    ts = m.threads(threads, socket=socket)
+    snaps = ns.counter_snapshots()
+    pairs = []
+    for t in ts:
+        base = staggered_base(t.tid, per_thread)
+        addrs = address_stream(
+            base, per_thread, access, pattern, seed=77 + t.tid,
+            stride=stride)
+        pairs.append((t, make_kernel(op, ns, t, addrs, access,
+                                     **kernel_kwargs)))
+    elapsed = run_workloads(pairs)
+    if drain:
+        for dimm in ns.dimms:
+            dimm.drain(elapsed)
+    deltas = ns.counter_deltas(snaps)
+    total = per_thread * threads
+    return BandwidthResult(
+        gbps=gb_per_s(total, elapsed),
+        elapsed_ns=elapsed,
+        total_bytes=total,
+        ewr=effective_write_ratio(aggregate(deltas)),
+        threads=threads,
+        op=op,
+        access=access,
+        pattern=pattern,
+    )
+
+
+def bandwidth_vs_threads(kind, ops, thread_counts, access=256,
+                         pattern="seq", per_thread=256 * KIB):
+    """Figure 4: one curve per op, bandwidth as thread count grows."""
+    curves = {}
+    for op in ops:
+        curves[op] = [
+            measure_bandwidth(kind=kind, op=op, threads=n, access=access,
+                              pattern=pattern, per_thread=per_thread)
+            for n in thread_counts
+        ]
+    return curves
+
+
+def bandwidth_vs_access_size(kind, ops_threads, access_sizes,
+                             pattern="rand", per_thread=256 * KIB):
+    """Figure 5: one curve per (op, best-thread-count) pair vs access size."""
+    curves = {}
+    for op, nthreads in ops_threads.items():
+        pts = []
+        for access in access_sizes:
+            span = max(per_thread, access * 8)
+            pts.append(measure_bandwidth(
+                kind=kind, op=op, threads=nthreads, access=access,
+                pattern=pattern, per_thread=span))
+        curves[op] = pts
+    return curves

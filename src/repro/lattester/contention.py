@@ -1,0 +1,88 @@
+"""iMC contention study (Figure 16).
+
+A fixed pool of threads accesses N of the six interleaved DIMMs, with
+the DIMM sets evenly distributed across threads.  As each thread's
+DIMM set grows, per-DIMM writer counts rise and the per-thread WPQ
+allotment causes head-of-line blocking: aggregate bandwidth *drops*
+even though more DIMMs should mean more parallelism.  The guideline:
+pin threads to DIMMs.
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro._units import CACHELINE, KIB, gb_per_s
+from repro.sim import Machine, run_workloads
+
+
+@dataclass
+class ContentionPoint:
+    """Aggregate bandwidth with each thread spanning ``dimms`` DIMMs."""
+
+    dimms_per_thread: int
+    threads: int
+    op: str
+    access: int
+    bandwidth_gbps: float
+
+
+def _block_addresses(rng, dimm_set, blocks_per_dimm, block_bytes, total_dimms):
+    """Random interleave-block base addresses restricted to a DIMM set."""
+    while True:
+        dimm = rng.choice(dimm_set)
+        row = rng.randrange(blocks_per_dimm)
+        yield (row * total_dimms + dimm) * block_bytes
+
+
+def contention_experiment(op="ntstore", threads=6, dimms_per_thread=1,
+                          access=256, per_thread=96 * KIB, machine=None):
+    """One point of Figure 16: N DIMMs per thread, even distribution."""
+    m = machine if machine is not None else Machine()
+    ns = m.namespace("optane")
+    total_dimms = m.config.dimms_per_socket
+    block_bytes = m.config.interleave.block_bytes
+    ts = m.threads(threads)
+
+    def worker(t):
+        rng = random.Random(17 + t.tid)
+        start = t.tid % total_dimms
+        dimm_set = [(start + i) % total_dimms
+                    for i in range(dimms_per_thread)]
+        blocks = _block_addresses(rng, dimm_set, 256, block_bytes,
+                                  total_dimms)
+        issued = 0
+        while issued < per_thread:
+            base = next(blocks) + rng.randrange(
+                max(1, block_bytes // access)) * access
+            for off in range(0, access, CACHELINE):
+                if op == "read":
+                    ns.load(t, base + off)
+                else:
+                    ns.ntstore(t, base + off)
+                yield
+            issued += access
+        if op != "read":
+            t.sfence()
+
+    elapsed = run_workloads([(t, worker(t)) for t in ts])
+    return ContentionPoint(
+        dimms_per_thread=dimms_per_thread,
+        threads=threads,
+        op=op,
+        access=access,
+        bandwidth_gbps=gb_per_s(per_thread * threads, elapsed),
+    )
+
+
+def figure16(op="ntstore", threads=6, access_sizes=(64, 256, 1024, 4096),
+             dimm_counts=(1, 2, 3, 6), per_thread=96 * KIB):
+    """Bandwidth curves over access size, one per DIMMs-per-thread."""
+    curves = {}
+    for n in dimm_counts:
+        curves[n] = [
+            contention_experiment(op=op, threads=threads,
+                                  dimms_per_thread=n, access=a,
+                                  per_thread=per_thread)
+            for a in access_sizes
+        ]
+    return curves

@@ -1,0 +1,101 @@
+"""Effective Write Ratio studies (Figure 9, Section 5.1).
+
+EWR = bytes the iMC issued / bytes the media wrote.  ``ewr_experiment``
+runs one store workload against a single DIMM and reports both EWR and
+device bandwidth; ``figure9_sweep`` reproduces the scatter of Figure 9
+by sweeping access size, thread count and power budget for each store
+instruction.
+"""
+
+from dataclasses import dataclass
+
+from repro._units import KIB, gb_per_s
+from repro.lattester.access import address_stream, make_kernel, staggered_base
+from repro.sim import Machine, aggregate, effective_write_ratio, run_workloads
+
+
+@dataclass
+class EWRPoint:
+    """One experiment of the EWR/bandwidth scatter."""
+
+    op: str
+    access: int
+    threads: int
+    pattern: str
+    power_budget: float
+    ewr: float
+    device_bandwidth_gbps: float
+
+
+def ewr_experiment(op="ntstore", access=256, threads=1, pattern="rand",
+                   per_thread=256 * KIB, power_budget=1.0, machine=None):
+    """Run one store workload on Optane-NI; returns an :class:`EWRPoint`.
+
+    ``device_bandwidth`` counts bytes the application asked to write
+    over elapsed time (what Figure 9 calls effective device bandwidth).
+    """
+    if machine is None:
+        m = Machine()
+    else:
+        m = machine
+    if power_budget != 1.0:
+        m.config.media.power_budget = power_budget
+    ns = m.namespace("optane-ni")
+    ts = m.threads(threads)
+    snaps = ns.counter_snapshots()
+    pairs = []
+    for t in ts:
+        base = staggered_base(t.tid, per_thread)
+        addrs = address_stream(base, per_thread, access, pattern,
+                               seed=55 + t.tid)
+        pairs.append((t, make_kernel(op, ns, t, addrs, access)))
+    elapsed = run_workloads(pairs)
+    for dimm in ns.dimms:
+        dimm.drain(elapsed)
+    delta = aggregate(ns.counter_deltas(snaps))
+    return EWRPoint(
+        op=op, access=access, threads=threads, pattern=pattern,
+        power_budget=power_budget,
+        ewr=effective_write_ratio(delta),
+        device_bandwidth_gbps=gb_per_s(per_thread * threads, elapsed),
+    )
+
+
+def figure9_sweep(ops=("ntstore", "store", "clwb"),
+                  accesses=(64, 128, 256, 1024, 4096),
+                  thread_counts=(1, 2, 4, 8),
+                  power_budgets=(1.0, 0.7),
+                  per_thread=128 * KIB):
+    """The systematic sweep behind Figure 9's three scatter plots."""
+    points = {op: [] for op in ops}
+    for op in ops:
+        for access in accesses:
+            for threads in thread_counts:
+                for budget in power_budgets:
+                    points[op].append(ewr_experiment(
+                        op=op, access=access, threads=threads,
+                        per_thread=per_thread, power_budget=budget))
+    return points
+
+
+def correlation(points):
+    """Least-squares slope and r^2 of bandwidth against EWR."""
+    xs = [p.ewr for p in points if p.ewr != float("inf")]
+    ys = [p.device_bandwidth_gbps
+          for p in points if p.ewr != float("inf")]
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two finite points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    syy = sum((y - mean_y) ** 2 for y in ys)
+    if sxx == 0 or syy == 0:
+        return 0.0, 0.0
+    slope = sxy / sxx
+    r2 = (sxy * sxy) / (sxx * syy)
+    return slope, r2
+
+
+__all__ = ["EWRPoint", "correlation", "ewr_experiment", "figure9_sweep"]

@@ -1,0 +1,78 @@
+"""Latency under load (Figure 6).
+
+A fixed thread pool performs cache-line accesses with a configurable
+idle delay between consecutive accesses; sweeping the delay from large
+to zero traces out the classic latency/bandwidth curve with its
+queuing "wall".  3D XPoint hits the wall much earlier than DRAM and is
+far more pattern-sensitive.
+"""
+
+import statistics
+from dataclasses import dataclass
+
+from repro._units import CACHELINE, KIB, gb_per_s
+from repro.lattester.access import (
+    address_stream, ntstore_kernel, read_kernel, staggered_base,
+)
+from repro.sim import Machine, run_workloads
+
+
+@dataclass
+class LoadPoint:
+    """One point of the latency-vs-bandwidth curve."""
+
+    delay_ns: float
+    bandwidth_gbps: float
+    latency_ns: float
+
+
+def loaded_latency(kind="optane", op="read", threads=16, pattern="seq",
+                   delay_ns=0.0, per_thread=64 * KIB, machine=None,
+                   span=8 * 1024 * KIB):
+    """Measure (bandwidth, mean latency) at one offered-load level.
+
+    ``per_thread`` is the traffic volume; random addresses are drawn
+    from a private ``span``-sized region so repeats (cache hits) do not
+    dilute the measured latency.
+    """
+    m = machine if machine is not None else Machine()
+    ns = m.namespace(kind)
+    ts = [t.collect_latencies() for t in m.threads(threads)]
+    pairs = []
+    for t in ts:
+        region = span if pattern == "rand" else per_thread
+        base = staggered_base(t.tid, region)
+        addrs = address_stream(base, region, CACHELINE, pattern,
+                               seed=31 + t.tid)
+        if pattern == "rand":
+            count = per_thread // CACHELINE
+            addrs = (a for _, a in zip(range(count), addrs))
+        if op == "read":
+            gen = read_kernel(ns, t, addrs, CACHELINE, delay_ns=delay_ns)
+        elif op == "ntstore":
+            gen = ntstore_kernel(ns, t, addrs, CACHELINE, delay_ns=delay_ns)
+        else:
+            raise ValueError("op must be 'read' or 'ntstore'")
+        pairs.append((t, gen))
+    elapsed = run_workloads(pairs)
+    lats = []
+    for t in ts:
+        if t.latencies:
+            lats.extend(t.latencies)
+    return LoadPoint(
+        delay_ns=delay_ns,
+        bandwidth_gbps=gb_per_s(per_thread * threads, elapsed),
+        latency_ns=statistics.fmean(lats),
+    )
+
+
+def latency_bandwidth_curve(kind="optane", op="read", threads=16,
+                            pattern="seq",
+                            delays=(0, 50, 100, 200, 400, 800, 1600, 3200),
+                            per_thread=64 * KIB):
+    """Figure 6: the whole curve, densest load first."""
+    return [
+        loaded_latency(kind, op, threads, pattern, delay_ns=d,
+                       per_thread=per_thread)
+        for d in delays
+    ]

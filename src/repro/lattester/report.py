@@ -1,0 +1,77 @@
+"""Result formatting: ASCII tables and series for experiment output.
+
+LATTester's results are plain dataclasses; this module renders them
+the way the paper's tables/figures organise them, for the CLI
+(``python -m repro``) and the benchmark reports.
+"""
+
+
+def format_value(value, digits=2):
+    """Human-friendly scalar formatting."""
+    if isinstance(value, float):
+        if value != value:                    # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return "%.0f" % value
+        return ("%." + str(digits) + "f") % value
+    return str(value)
+
+
+def table(headers, rows, title=None):
+    """Render an ASCII table; every cell is formatted with format_value."""
+    cells = [[format_value(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def series_table(series, x_label="x", unit="", title=None):
+    """Render ``{curve_name: [(x, y), ...]}`` as one aligned table."""
+    xs = sorted({x for pts in series.values() for x, _ in pts})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row = [x]
+        for name in series:
+            lookup = dict(series[name])
+            row.append(lookup.get(x, ""))
+        rows.append(row)
+    text = table(headers, rows, title=title)
+    if unit:
+        text += "\n(values in %s)" % unit
+    return text
+
+
+def latency_table(results, title="Latency"):
+    """Render {label: LatencyResult} as mean +- stdev rows."""
+    rows = [
+        [label, r.mean_ns, r.stdev_ns, r.samples]
+        for label, r in results.items()
+    ]
+    return table(["experiment", "mean ns", "stdev", "n"], rows,
+                 title=title)
+
+
+def bandwidth_table(results, title="Bandwidth"):
+    """Render a list of BandwidthResult as a table."""
+    rows = [
+        ["%s/%dB x%d" % (r.pattern, r.access, r.threads), r.op,
+         r.gbps, r.ewr if r.ewr != float("inf") else "-"]
+        for r in results
+    ]
+    return table(["workload", "op", "GB/s", "EWR"], rows, title=title)
+
+
+def comparison(label, measured, paper, unit=""):
+    """One paper-vs-measured line, benchmark-report style."""
+    return "%-40s measured %10s   paper %10s %s" % (
+        label, format_value(measured), format_value(paper), unit)

@@ -1,0 +1,89 @@
+"""The systematic parameter sweep (Section 3.1).
+
+LATTester's first phase is a broad sweep over access pattern,
+operation, access size, thread count, NUMA placement and interleaving.
+``systematic_sweep`` reproduces that: it returns a flat list of records
+(dicts) that the targeted experiments and Figure 9's scatter are mined
+from.  Over the default grid this produces several hundred data points;
+the paper collected "over ten thousand" across both phases.
+"""
+
+import csv
+from itertools import product
+
+from repro._units import KIB
+from repro.lattester.bandwidth import measure_bandwidth
+
+CSV_FIELDS = ("kind", "op", "pattern", "access", "threads",
+              "gbps", "ewr", "elapsed_ns")
+
+DEFAULT_GRID = {
+    "kind": ("optane", "optane-ni", "dram"),
+    "op": ("read", "ntstore", "clwb"),
+    "pattern": ("seq", "rand"),
+    "access": (64, 256, 4096),
+    "threads": (1, 4, 16),
+}
+
+
+def sweep_grid(grid=None, per_thread=64 * KIB, progress=None):
+    """Run the full cartesian sweep; returns a list of result records."""
+    grid = dict(DEFAULT_GRID if grid is None else grid)
+    keys = list(grid)
+    records = []
+    for values in product(*(grid[k] for k in keys)):
+        params = dict(zip(keys, values))
+        result = measure_bandwidth(per_thread=per_thread, **params)
+        record = dict(params)
+        record["gbps"] = result.gbps
+        record["ewr"] = result.ewr
+        record["elapsed_ns"] = result.elapsed_ns
+        records.append(record)
+        if progress is not None:
+            progress(record)
+    return records
+
+
+def filter_records(records, **criteria):
+    """Select sweep records matching all the given field values."""
+    out = []
+    for rec in records:
+        if all(rec.get(k) == v for k, v in criteria.items()):
+            out.append(rec)
+    return out
+
+
+def write_csv(records, path):
+    """Persist sweep records to a CSV file (one row per experiment)."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=CSV_FIELDS,
+                                extrasaction="ignore")
+        writer.writeheader()
+        for rec in records:
+            writer.writerow(rec)
+
+
+def read_csv(path):
+    """Load sweep records back, with numeric fields restored."""
+    out = []
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            row["access"] = int(row["access"])
+            row["threads"] = int(row["threads"])
+            row["gbps"] = float(row["gbps"])
+            row["ewr"] = float(row["ewr"])
+            row["elapsed_ns"] = float(row["elapsed_ns"])
+            out.append(row)
+    return out
+
+
+def best_thread_count(records, kind, op, access=None):
+    """The thread count achieving peak bandwidth for a configuration."""
+    matches = [
+        r for r in records
+        if r["kind"] == kind and r["op"] == op
+        and (access is None or r["access"] == access)
+    ]
+    if not matches:
+        raise ValueError("no sweep records for %s/%s" % (kind, op))
+    return max(matches, key=lambda r: r["gbps"])["threads"]

@@ -1,0 +1,64 @@
+"""Tail-latency study (Figure 3).
+
+A single thread writes sequentially (wrapping) within a hotspot of a
+given size, timing each fenced store.  3D XPoint shows rare ~50 us
+outliers whose population shrinks as the hotspot grows; DRAM shows
+none.
+"""
+
+from dataclasses import dataclass
+
+from repro._units import CACHELINE
+from repro.sim import Machine
+
+
+@dataclass
+class TailResult:
+    """Latency percentiles (ns) for one hotspot size."""
+
+    hotspot_bytes: int
+    p50_ns: float
+    p999_ns: float
+    p9999_ns: float
+    p99999_ns: float
+    max_ns: float
+    outliers: int            # stalls >= 10x the median
+    samples: int
+
+
+def _percentile(sorted_lats, p):
+    idx = min(len(sorted_lats) - 1, int(len(sorted_lats) * p))
+    return sorted_lats[idx]
+
+
+def hotspot_tail(kind="optane-ni", hotspot=4096, ops=100_000, machine=None):
+    """Write ``ops`` fenced ntstores sequentially inside the hotspot."""
+    m = machine if machine is not None else Machine()
+    ns = m.namespace(kind)
+    t = m.thread()
+    lines = max(1, hotspot // CACHELINE)
+    lats = []
+    for i in range(ops):
+        addr = (i % lines) * CACHELINE
+        start = t.now
+        ns.ntstore(t, addr)
+        t.sfence()
+        lats.append(t.now - start)
+    lats.sort()
+    median = _percentile(lats, 0.5)
+    return TailResult(
+        hotspot_bytes=hotspot,
+        p50_ns=median,
+        p999_ns=_percentile(lats, 0.999),
+        p9999_ns=_percentile(lats, 0.9999),
+        p99999_ns=_percentile(lats, 0.99999),
+        max_ns=lats[-1],
+        outliers=sum(1 for x in lats if x >= 10 * median),
+        samples=len(lats),
+    )
+
+
+def figure3(hotspots=(256, 2048, 16384, 131072, 1048576, 8388608),
+            kind="optane-ni", ops=100_000):
+    """The tail-latency-vs-hotspot sweep of Figure 3."""
+    return [hotspot_tail(kind, h, ops=ops) for h in hotspots]

@@ -1,0 +1,73 @@
+"""XPBuffer capacity inference (Figure 10).
+
+The paper's probe: allocate N contiguous XPLines; each round, write the
+*first half* (128 B) of every line in turn, then the *second half* of
+every line.  While N is at or below the buffer's 64-line capacity the
+second-half writes merge with the still-buffered first halves and
+write amplification stays ~1; beyond it, every half-line is evicted
+partial, forcing read-modify-writes, and amplification jumps.
+"""
+
+from dataclasses import dataclass
+
+from repro._units import CACHELINE, XPLINE
+from repro.sim import Machine, aggregate, write_amplification
+
+
+@dataclass
+class ProbePoint:
+    """Write amplification measured for one region size."""
+
+    region_bytes: int
+    xplines: int
+    write_amplification: float
+    ewr: float
+
+
+def probe_region(xplines, rounds=4, kind="optane-ni", machine=None):
+    """Run the half-line/half-line rounds over ``xplines`` lines."""
+    m = machine if machine is not None else Machine()
+    ns = m.namespace(kind)
+    t = m.thread()
+    half = XPLINE // 2
+    # Warm-up round so cold-allocation effects don't skew the ratio.
+    for phase in (0, half):
+        for i in range(xplines):
+            base = i * XPLINE + phase
+            for off in range(0, half, CACHELINE):
+                ns.ntstore(t, base + off)
+    # No final drain: over R rounds the flush-on-overwrite traffic of
+    # round k+1 accounts for round k's data, so the steady-state ratio
+    # is exact (the warm-up round's flushes stand in for the last
+    # round's still-buffered lines).
+    snaps = ns.counter_snapshots()
+    for _ in range(rounds):
+        for phase in (0, half):
+            for i in range(xplines):
+                base = i * XPLINE + phase
+                for off in range(0, half, CACHELINE):
+                    ns.ntstore(t, base + off)
+        t.sfence()
+    delta = aggregate(ns.counter_deltas(snaps))
+    wa = write_amplification(delta)
+    return ProbePoint(
+        region_bytes=xplines * XPLINE,
+        xplines=xplines,
+        write_amplification=wa,
+        ewr=(1.0 / wa) if wa else float("inf"),
+    )
+
+
+def figure10(region_sizes=(4, 8, 16, 32, 48, 64, 80, 96, 128, 256, 1024),
+             rounds=4):
+    """Write amplification as the probed region grows (in XPLines)."""
+    return [probe_region(n, rounds=rounds) for n in region_sizes]
+
+
+def inferred_buffer_lines(points, threshold=1.25):
+    """The largest region that still combines (WA below threshold)."""
+    best = 0
+    for p in points:
+        if p.write_amplification <= threshold and p.xplines > best:
+            best = p.xplines
+    return best

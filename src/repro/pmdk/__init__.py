@@ -1,0 +1,29 @@
+"""A PMDK-like transactional persistent-object library.
+
+Public surface::
+
+    from repro.pmdk import PmemPool, Transaction
+    from repro.sim import Machine
+
+    m = Machine()
+    t = m.thread()
+    pool = PmemPool.create(m, t)
+    obj = pool.heap.alloc(256) - pool.base
+    with Transaction(pool, t) as tx:
+        tx.store(obj, b"hello")
+"""
+
+from repro.pmdk.alloc import Heap, class_bytes, size_class
+from repro.pmdk.microbuffer import MicroBufferTx, recover_microbuffer
+from repro.pmdk.pool import LANE_SIZE, PmemPool
+from repro.pmdk.study import (
+    TxLatency, crossover_size, figure15, noop_tx_latency,
+)
+from repro.pmdk.tx import Transaction, TransactionError, recover
+
+__all__ = [
+    "Heap", "LANE_SIZE", "MicroBufferTx", "PmemPool", "Transaction",
+    "TransactionError", "TxLatency", "class_bytes", "crossover_size",
+    "figure15", "noop_tx_latency", "recover", "recover_microbuffer",
+    "size_class",
+]

@@ -1,0 +1,74 @@
+"""Heap allocation for persistent pools.
+
+A segregated-fit allocator over size classes (powers of two from 64 B),
+with a bump region for large allocations.  Allocation state is
+volatile here; crash-safe allocation is achieved the way PMDK does it —
+allocations performed inside a transaction are logged so an aborted
+(crashed) transaction's objects are reclaimed on recovery, and the
+reachable-object graph (from the root) is what defines liveness.
+"""
+
+from repro._units import CACHELINE, align_up
+
+MIN_CLASS = 64
+NUM_CLASSES = 12                 # 64 B .. 128 KB
+
+
+def size_class(nbytes):
+    """Index of the smallest class that fits ``nbytes`` (or None)."""
+    size = MIN_CLASS
+    for idx in range(NUM_CLASSES):
+        if nbytes <= size:
+            return idx
+        size <<= 1
+    return None
+
+
+def class_bytes(idx):
+    return MIN_CLASS << idx
+
+
+class Heap:
+    """Segregated free lists + bump pointer over [base, base+span)."""
+
+    def __init__(self, base, span):
+        if span <= 0:
+            raise ValueError("empty heap")
+        self.base = base
+        self.span = span
+        self._bump = base
+        self._free = [[] for _ in range(NUM_CLASSES)]
+        self.live_bytes = 0
+
+    def alloc(self, nbytes, align=CACHELINE):
+        """Allocate ``nbytes`` at ``align``-byte alignment.
+
+        Alignment matters on this hardware: an object aligned to the
+        256 B XPLine dirties the fewest media lines (guideline #1).
+        """
+        idx = size_class(nbytes)
+        if align <= CACHELINE and idx is not None and self._free[idx]:
+            addr = self._free[idx].pop()
+            self.live_bytes += class_bytes(idx)
+            return addr
+        need = class_bytes(idx) if idx is not None \
+            else align_up(nbytes, CACHELINE)
+        addr = align_up(self._bump, align)
+        if addr + need > self.base + self.span:
+            raise MemoryError("pool heap exhausted")
+        self._bump = addr + need
+        self.live_bytes += need
+        return addr
+
+    def free(self, addr, nbytes):
+        idx = size_class(nbytes)
+        if idx is None:
+            # Large objects are not recycled (bump region); PMDK's
+            # huge-chunk coalescing is out of scope.
+            return
+        self._free[idx].append(addr)
+        self.live_bytes -= class_bytes(idx)
+
+    @property
+    def used_bytes(self):
+        return self._bump - self.base

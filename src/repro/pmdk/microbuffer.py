@@ -1,0 +1,125 @@
+"""Micro-buffering (the Pangolin optimisation, Section 5.2.1).
+
+Instead of issuing loads and undo-logged stores directly against
+persistent memory, a micro-buffered transaction copies the object into
+a DRAM staging buffer at ``open``, lets the program modify the staged
+copy for free, and writes the whole object back at ``commit`` — with
+non-temporal stores (``PGL-NT``, the original design) or with cached
+stores plus clwb (``PGL-CLWB``, the paper's suggested tuning for small
+objects).  Figure 15 measures the crossover (~1 KB).
+
+Fault tolerance follows Pangolin: every object row belongs to a parity
+group; commit updates the row's parity line with an XOR delta (one
+64 B line per commit in this model).  ``redo=True`` selects a heavier
+redo-image scheme instead (append the staged image to the lane log
+before write-back), which :func:`recover_microbuffer` can replay after
+a crash — useful when you need byte-exact recovery in tests.
+"""
+
+import struct
+import zlib
+
+from repro._units import CACHELINE, align_up
+from repro.pmdk.pool import LANE_SIZE
+
+_REDO_HEADER = struct.Struct("<QII")
+_LANE_HEADER = struct.Struct("<Q")
+
+
+class MicroBufferTx:
+    """One micro-buffered transaction over a single object."""
+
+    def __init__(self, pool, thread, lane=0, writeback="ntstore",
+                 redo=False):
+        if writeback not in ("ntstore", "clwb"):
+            raise ValueError("writeback must be 'ntstore' or 'clwb'")
+        self.pool = pool
+        self.thread = thread
+        self.lane = lane
+        self.writeback = writeback
+        self.redo = redo
+        self._lane_base = pool.lane_base(lane)
+        self._offset = None
+        self._staged = None
+
+    def open(self, offset, size):
+        """Stage the object: one bulk read into DRAM."""
+        if self._staged is not None:
+            raise RuntimeError("an object is already staged")
+        self._offset = offset
+        self._staged = bytearray(self.pool.read(self.thread, offset, size))
+        # The DRAM copy only exists once every fill has completed.
+        self.thread.drain()
+        return self._staged
+
+    def commit(self):
+        """Protect (parity or redo), write back, done."""
+        if self._staged is None:
+            raise RuntimeError("nothing staged")
+        data = bytes(self._staged)
+        if self.redo:
+            self._append_redo(data)
+        else:
+            self._update_parity()
+        self.pool.write(self.thread, self._offset, data,
+                        instr=self.writeback)
+        if self.redo:
+            self._invalidate()
+        self._offset = None
+        self._staged = None
+
+    def discard(self):
+        self._offset = None
+        self._staged = None
+
+    # -- parity (default Pangolin-style protection) ---------------------------
+
+    def _update_parity(self):
+        """XOR-delta one parity line in the lane area and fence."""
+        parity_addr = self._lane_base + LANE_SIZE - CACHELINE
+        self.pool.ns.pwrite(self.thread, parity_addr, b"\x00" * CACHELINE,
+                            instr="ntstore")
+
+    # -- redo image (optional byte-exact recovery) -------------------------------
+
+    def _append_redo(self, data):
+        header = _REDO_HEADER.pack(self._offset, len(data),
+                                   zlib.crc32(data) & 0xFFFFFFFF)
+        blob = header + data
+        span = align_up(len(blob), CACHELINE)
+        if CACHELINE + span > LANE_SIZE:
+            raise RuntimeError("object too large for the lane log")
+        self.pool.ns.ntstore(
+            self.thread, self._lane_base + CACHELINE, span,
+            data=blob + b"\x00" * (span - len(blob)))
+        self.pool.ns.ntstore(self.thread, self._lane_base, 8,
+                             data=_LANE_HEADER.pack(1))
+        self.thread.sfence()
+
+    def _invalidate(self):
+        self.pool.ns.ntstore(self.thread, self._lane_base, 8,
+                             data=_LANE_HEADER.pack(0))
+        self.thread.sfence()
+
+
+def recover_microbuffer(pool, thread):
+    """Replay any committed-but-unapplied redo image after a crash."""
+    replayed = 0
+    for lane in range(pool.lanes):
+        lane_base = pool.lane_base(lane)
+        count = _LANE_HEADER.unpack(
+            pool.ns.read_persistent(lane_base, 8))[0]
+        if not count:
+            continue
+        raw = pool.ns.read_persistent(lane_base + CACHELINE,
+                                      _REDO_HEADER.size)
+        offset, size, crc = _REDO_HEADER.unpack(raw)
+        data = pool.ns.read_persistent(
+            lane_base + CACHELINE + _REDO_HEADER.size, size)
+        if zlib.crc32(data) & 0xFFFFFFFF == crc:
+            pool.ns.pwrite(thread, pool.addr(offset), data,
+                           instr="ntstore")
+            replayed += 1
+        pool.ns.ntstore(thread, lane_base, 8, data=_LANE_HEADER.pack(0))
+        thread.sfence()
+    return replayed

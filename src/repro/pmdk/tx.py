@@ -1,0 +1,160 @@
+"""Undo-log transactions (PMDK's pmemobj_tx model).
+
+``Transaction`` protects in-place updates: ``add(offset, size)``
+snapshots the range into the lane's undo log *before* modification;
+``commit`` flushes every modified range and invalidates the log;
+recovery applies intact undo entries backwards, restoring pre-tx state
+for any transaction that never committed.
+
+Undo-log entry: u64 offset | u32 size | u32 crc | data (64 B aligned);
+the lane header holds a u64 entry count whose persist *completes* the
+entry append (count-then-data torn states are rejected by CRC).
+"""
+
+import struct
+import zlib
+
+from repro._units import CACHELINE, align_up
+from repro.pmdk.pool import LANE_SIZE
+
+_LANE_HEADER = struct.Struct("<Q")
+_ENTRY_HEADER = struct.Struct("<QII")
+
+
+class TransactionError(Exception):
+    """Raised for misuse (nesting, double commit, oversized logs)."""
+
+
+class Transaction:
+    """One undo-log transaction on a pool lane."""
+
+    def __init__(self, pool, thread, lane=0):
+        self.pool = pool
+        self.thread = thread
+        self.lane = lane
+        self._lane_base = pool.lane_base(lane)
+        self._log_tail = self._lane_base + CACHELINE
+        self._entries = 0
+        self._modified = []          # [(offset, size)]
+        self._staged = {}
+        self._active = False
+
+    # -- context manager ------------------------------------------------------
+
+    def __enter__(self):
+        self.begin()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+        return False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def begin(self):
+        if self._active:
+            raise TransactionError("transaction already active")
+        self._active = True
+        self._entries = 0
+        self._log_tail = self._lane_base + CACHELINE
+        self._modified = []
+
+    def add(self, offset, size):
+        """Snapshot ``[offset, offset+size)`` before modifying it."""
+        if not self._active:
+            raise TransactionError("no active transaction")
+        old = self.pool.read(self.thread, offset, size)
+        header = _ENTRY_HEADER.pack(
+            offset, size, zlib.crc32(old) & 0xFFFFFFFF)
+        blob = header + old
+        span = align_up(len(blob), CACHELINE)
+        if self._log_tail + span > self._lane_base + LANE_SIZE:
+            raise TransactionError("undo log full")
+        self.pool.ns.ntstore(self.thread, self._log_tail, span,
+                             data=blob + b"\x00" * (span - len(blob)))
+        self.thread.sfence()
+        # Persist the new entry count: the entry is now reachable.
+        self._entries += 1
+        self.pool.ns.ntstore(
+            self.thread, self._lane_base, 8,
+            data=_LANE_HEADER.pack(self._entries))
+        self.thread.sfence()
+        self._log_tail += span
+        self._modified.append((offset, size))
+
+    def store(self, offset, data, snapshot=True):
+        """Convenience: add + in-place cached store."""
+        if snapshot:
+            self.add(offset, len(data))
+        self.pool.ns.store(self.thread, self.pool.addr(offset),
+                           len(data), data=data)
+        if not snapshot:
+            self._modified.append((offset, len(data)))
+
+    def commit(self):
+        """Flush modified ranges, then invalidate the undo log."""
+        if not self._active:
+            raise TransactionError("no active transaction")
+        for offset, size in self._modified:
+            self.pool.ns.clwb(self.thread, self.pool.addr(offset), size)
+        self.thread.sfence()
+        self._invalidate_log()
+        self._active = False
+
+    def abort(self):
+        """Roll back in-place modifications from the undo log."""
+        if not self._active:
+            raise TransactionError("no active transaction")
+        for offset, size, data in reversed(self._read_log_volatile()):
+            self.pool.ns.pwrite(self.thread, self.pool.addr(offset),
+                                data, instr="clwb")
+        self._invalidate_log()
+        self._active = False
+
+    def _invalidate_log(self):
+        self.pool.ns.ntstore(self.thread, self._lane_base, 8,
+                             data=_LANE_HEADER.pack(0))
+        self.thread.sfence()
+        self._entries = 0
+
+    def _read_log_volatile(self):
+        return _scan_lane(
+            lambda a, n: self.pool.ns.read_volatile(a, n),
+            self._lane_base)
+
+
+def _scan_lane(read, lane_base):
+    """Decode undo entries from a lane via the given reader."""
+    count = _LANE_HEADER.unpack(read(lane_base, 8))[0]
+    out = []
+    tail = lane_base + CACHELINE
+    for _ in range(count):
+        header = read(tail, _ENTRY_HEADER.size)
+        offset, size, crc = _ENTRY_HEADER.unpack(header)
+        data = read(tail + _ENTRY_HEADER.size, size)
+        if zlib.crc32(data) & 0xFFFFFFFF != crc:
+            break                     # torn entry: stop (newest first)
+        out.append((offset, size, data))
+        tail += align_up(_ENTRY_HEADER.size + size, CACHELINE)
+    return out
+
+
+def recover(pool, thread):
+    """Post-crash recovery: roll back every lane's intact undo log.
+
+    Returns the number of ranges restored.
+    """
+    restored = 0
+    for lane in range(pool.lanes):
+        lane_base = pool.lane_base(lane)
+        entries = _scan_lane(
+            lambda a, n: pool.ns.read_persistent(a, n), lane_base)
+        for offset, size, data in reversed(entries):
+            pool.ns.pwrite(thread, pool.addr(offset), data, instr="clwb")
+            restored += 1
+        pool.ns.ntstore(thread, lane_base, 8, data=_LANE_HEADER.pack(0))
+        thread.sfence()
+    return restored

@@ -1,0 +1,267 @@
+"""An FPTree-style persistent B+-tree (the NVM-index family of §7).
+
+The paper's related work is full of persistent B-trees (FPTree,
+NV-Tree, BzTree, wB+Tree); this engine applies the paper's guidelines
+to that design space:
+
+* **Leaf nodes are persistent and unsorted** — an insert appends into
+  the first free slot and flips one bit in a presence bitmap, so a
+  put persists exactly one key/value slot plus one metadata line
+  (small, *localised* stores: guideline #1 honoured by keeping the
+  whole hot region of the leaf inside one XPLine where possible).
+* **Fingerprints** — one hash byte per slot in the metadata line lets
+  lookups probe a single cache line before touching key slots (fewer
+  3D XPoint reads, FPTree's key trick).
+* **Inner nodes are volatile** and rebuilt on recovery by scanning the
+  leaf chain, exactly like FPTree rebuilds its DRAM-resident inners.
+
+Leaf layout (``leaf_bytes`` total, default 256 = one XPLine)::
+
+    u64 next_leaf | u8 count_hint | bitmap u16 | fp[SLOTS] | pad
+    (key u64 | value u64) x SLOTS
+
+Keys and values are fixed 8-byte integers (an index, not a heap);
+variable payloads belong in the pool heap with the value as a pointer.
+"""
+
+import struct
+
+from repro._units import CACHELINE
+
+_HEADER = struct.Struct("<QBH")          # next | hint | bitmap
+_SLOT = struct.Struct("<QQ")
+
+
+def _fingerprint(key):
+    x = key * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF
+    return (x >> 56) & 0xFF or 1
+
+
+class _LeafView:
+    """Decoder/encoder for one persistent leaf."""
+
+    def __init__(self, tree, off):
+        self.tree = tree
+        self.off = off
+
+    @property
+    def _meta_size(self):
+        return _HEADER.size + self.tree.slots
+
+    def read_meta(self):
+        raw = self.tree.pool.read_volatile(self.off, self._meta_size)
+        nxt, hint, bitmap = _HEADER.unpack_from(raw)
+        fps = list(raw[_HEADER.size:])
+        return nxt, bitmap, fps
+
+    def slot_addr(self, idx):
+        return self.off + self._meta_size + idx * _SLOT.size
+
+    def read_slot(self, idx):
+        raw = self.tree.pool.read_volatile(self.slot_addr(idx),
+                                           _SLOT.size)
+        return _SLOT.unpack(raw)
+
+    def write_slot(self, thread, idx, key, value):
+        self.tree.pool.write(thread, self.slot_addr(idx),
+                             _SLOT.pack(key, value), instr="clwb")
+
+    def write_meta(self, thread, nxt, bitmap, fps):
+        blob = _HEADER.pack(nxt, 0, bitmap) + bytes(fps)
+        self.tree.pool.write(thread, self.off, blob, instr="clwb")
+
+
+class BPlusTree:
+    """Persistent B+-tree over a pool; volatile inner index."""
+
+    def __init__(self, pool, leaf_bytes=256, head_off=None, slots=None,
+                 use_fingerprints=True):
+        self.pool = pool
+        self.leaf_bytes = leaf_bytes
+        self.use_fingerprints = use_fingerprints
+        if slots is None:
+            slots = (leaf_bytes - _HEADER.size) // (_SLOT.size + 1)
+            while _HEADER.size + slots + slots * _SLOT.size > leaf_bytes:
+                slots -= 1
+        self.slots = min(slots, 16)             # bitmap is a u16
+        if self.slots < 2 or _HEADER.size + self.slots \
+                + self.slots * _SLOT.size > leaf_bytes:
+            raise ValueError("leaf too small")
+        if head_off is None:
+            head_off = self._new_leaf_off()
+        self.head = head_off
+        # Volatile inner index: sorted list of (min_key, leaf_off).
+        self._inners = [(-1, self.head)]
+        self.count = 0
+
+    # -- allocation --------------------------------------------------------------
+
+    def _new_leaf_off(self):
+        # XPLine-aligned leaves: the whole hot region of a 256 B leaf
+        # stays inside one media line (guideline #1).
+        return self.pool.heap.alloc(self.leaf_bytes,
+                                    align=256) - self.pool.base
+
+    def _init_leaf(self, thread, off, nxt=0):
+        view = _LeafView(self, off)
+        view.write_meta(thread, nxt, 0, [0] * self.slots)
+        return view
+
+    def format(self, thread):
+        """Persist the empty head leaf (call once on a fresh tree)."""
+        self._init_leaf(thread, self.head)
+
+    # -- lookup helpers --------------------------------------------------------------
+
+    def _leaf_for(self, key):
+        lo, hi = 0, len(self._inners)
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._inners[mid][0] <= key:
+                lo = mid
+            else:
+                hi = mid
+        return self._inners[lo][1]
+
+    def _find_in_leaf(self, thread, leaf_off, key):
+        view = _LeafView(self, leaf_off)
+        # One cache-line read covers the whole metadata region.
+        self.pool.read(thread, leaf_off, min(CACHELINE, self.leaf_bytes))
+        nxt, bitmap, fps = view.read_meta()
+        fp = _fingerprint(key)
+        for idx in range(self.slots):
+            if not bitmap & (1 << idx):
+                continue
+            if self.use_fingerprints and fps[idx] != fp:
+                continue                 # one-byte probe spared a read
+            self.pool.read(thread, view.slot_addr(idx), _SLOT.size)
+            k, v = view.read_slot(idx)
+            if k == key:
+                return view, nxt, bitmap, fps, idx, v
+        return view, nxt, bitmap, fps, None, None
+
+    # -- operations -------------------------------------------------------------------
+
+    def put(self, thread, key, value):
+        """Durably insert or update one fixed-size pair."""
+        leaf_off = self._leaf_for(key)
+        view, nxt, bitmap, fps, idx, _ = self._find_in_leaf(
+            thread, leaf_off, key)
+        if idx is not None:
+            view.write_slot(thread, idx, key, value)   # in-place update
+            thread.sfence()
+            return
+        free = next((i for i in range(self.slots)
+                     if not bitmap & (1 << i)), None)
+        if free is None:
+            self._split(thread, leaf_off)
+            return self.put(thread, key, value)
+        # 1. Persist the slot, fence; 2. flip bitmap+fingerprint (one
+        # metadata line), fence — the FPTree commit protocol.
+        view.write_slot(thread, free, key, value)
+        thread.sfence()
+        fps[free] = _fingerprint(key)
+        view.write_meta(thread, nxt, bitmap | (1 << free), fps)
+        thread.sfence()
+        self.count += 1
+
+    def get(self, thread, key):
+        leaf_off = self._leaf_for(key)
+        _, _, _, _, idx, value = self._find_in_leaf(thread, leaf_off, key)
+        return value if idx is not None else None
+
+    def delete(self, thread, key):
+        """Durably remove a key: one bitmap-line update."""
+        leaf_off = self._leaf_for(key)
+        view, nxt, bitmap, fps, idx, _ = self._find_in_leaf(
+            thread, leaf_off, key)
+        if idx is None:
+            return False
+        fps[idx] = 0
+        view.write_meta(thread, nxt, bitmap & ~(1 << idx), fps)
+        thread.sfence()
+        self.count -= 1
+        return True
+
+    def _split(self, thread, leaf_off):
+        """Split a full leaf: persist the new right sibling first."""
+        view = _LeafView(self, leaf_off)
+        nxt, bitmap, fps = view.read_meta()
+        pairs = sorted(view.read_slot(i) for i in range(self.slots)
+                       if bitmap & (1 << i))
+        half = len(pairs) // 2
+        right_pairs = pairs[half:]
+        sep = right_pairs[0][0]
+        right_off = self._new_leaf_off()
+        right = self._init_leaf(thread, right_off, nxt=nxt)
+        rbitmap = 0
+        rfps = [0] * self.slots
+        for i, (k, v) in enumerate(right_pairs):
+            right.write_slot(thread, i, k, v)
+            rbitmap |= 1 << i
+            rfps[i] = _fingerprint(k)
+        right.write_meta(thread, nxt, rbitmap, rfps)
+        thread.sfence()
+        # Commit point: shrink the left leaf's bitmap + link the right
+        # sibling in a single metadata-line persist.
+        lbitmap = 0
+        lfps = [0] * self.slots
+        keep = {k for k, _ in pairs[:half]}
+        for i in range(self.slots):
+            if bitmap & (1 << i):
+                k, _ = view.read_slot(i)
+                if k in keep:
+                    lbitmap |= 1 << i
+                    lfps[i] = fps[i]
+        view.write_meta(thread, right_off, lbitmap, lfps)
+        thread.sfence()
+        # Update the volatile inner index.
+        import bisect
+        bisect.insort(self._inners, (sep, right_off))
+
+    def scan(self, thread, start=None, end=None):
+        """Ordered (key, value) pairs with keys in ``[start, end)``."""
+        out = []
+        leaf_off = self._leaf_for(start if start is not None else -1)
+        while leaf_off:
+            view = _LeafView(self, leaf_off)
+            self.pool.read(thread, leaf_off, self.leaf_bytes)
+            nxt, bitmap, _ = view.read_meta()
+            for i in range(self.slots):
+                if bitmap & (1 << i):
+                    k, v = view.read_slot(i)
+                    if (start is None or k >= start) and \
+                            (end is None or k < end):
+                        out.append((k, v))
+            if end is not None and out and max(k for k, _ in out) >= end:
+                break
+            leaf_off = nxt
+        return sorted(out)
+
+    # -- recovery --------------------------------------------------------------------
+
+    @classmethod
+    def recover(cls, pool, head_off, leaf_bytes=256):
+        """Rebuild the volatile inner index from the persistent leaves."""
+        tree = cls(pool, leaf_bytes=leaf_bytes, head_off=head_off)
+        tree._inners = [(-1, head_off)]
+        tree.count = 0
+        off = head_off
+        seen = set()
+        while off and off not in seen:
+            seen.add(off)
+            raw = pool.read_persistent(off, leaf_bytes)
+            nxt, _, bitmap = _HEADER.unpack_from(raw)
+            min_key = None
+            meta = _HEADER.size + tree.slots
+            for i in range(tree.slots):
+                if bitmap & (1 << i):
+                    k, _ = _SLOT.unpack_from(raw, meta + i * _SLOT.size)
+                    tree.count += 1
+                    if min_key is None or k < min_key:
+                        min_key = k
+            if off != head_off and min_key is not None:
+                tree._inners.append((min_key, off))
+            off = nxt
+        tree._inners.sort()
+        return tree

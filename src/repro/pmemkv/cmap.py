@@ -1,0 +1,233 @@
+"""The cmap engine: a concurrent persistent hash map (PMemKV's cmap).
+
+Open-addressed bucket array in persistent memory; keys and values are
+variable-size objects from the pool heap.  Concurrency follows cmap's
+design: the table is partitioned into lock stripes; writers lock one
+stripe (simulated lock acquisition spins on a shared resource so
+contention costs show up in simulated time).
+
+Crash consistency: an insert persists the key/value object first, then
+publishes it with an 8-byte bucket-pointer store (atomic).  Updates of
+equal-size values are done in place under the undo protocol of
+:mod:`repro.pmdk.tx`-style snapshotting (simplified: value persisted,
+then a version pointer swings).
+"""
+
+import struct
+import zlib
+
+_BUCKET = struct.Struct("<Q")
+_OBJ_HEADER = struct.Struct("<HHI")        # klen | pad | vlen
+#: Bucket sentinel for deleted slots (keeps probe chains intact).
+#: Object offsets are 64-byte aligned, so 1 can never collide.
+TOMBSTONE = 1
+
+#: CPU cost of hashing + probing bookkeeping per operation.
+_HASH_NS = 80.0
+#: Cost of one stripe-lock acquire/release pair, uncontended.
+_LOCK_NS = 30.0
+
+
+def _hash(key):
+    return zlib.crc32(key) & 0xFFFFFFFF
+
+
+class CMap:
+    """Concurrent persistent hash map over a :class:`PmemPool`."""
+
+    def __init__(self, pool, buckets=4096, stripes=64, table_off=None):
+        self.pool = pool
+        self.buckets = buckets
+        self.stripes = stripes
+        self._vtable = [0] * buckets       # volatile mirror of buckets
+        self._vindex = {}                  # key -> (bucket, obj_off)
+        self._lock_free_at = [0.0] * stripes
+        if table_off is None:
+            table_off = self.pool.heap.alloc(
+                buckets * _BUCKET.size) - self.pool.base
+        self._table_off = table_off
+
+    # -- persistence helpers ---------------------------------------------------
+
+    def _bucket_addr(self, idx):
+        return self._table_off + idx * _BUCKET.size
+
+    def _encode_obj(self, key, value):
+        return _OBJ_HEADER.pack(len(key), 0, len(value)) + key + value
+
+    def _persist(self, thread, offset, data):
+        """Store + clflushopt + fence (pmemkv's persist evicts lines)."""
+        addr = self.pool.addr(offset)
+        self.pool.ns.store(thread, addr, len(data), data=data)
+        self.pool.ns.clflushopt(thread, addr, len(data))
+        thread.sfence()
+
+    def _stripe_for(self, idx):
+        return idx % self.stripes
+
+    def _lock(self, thread, stripe):
+        """Acquire the stripe lock in simulated time."""
+        free_at = self._lock_free_at[stripe]
+        if free_at > thread.now:
+            thread.now = free_at            # spin until the holder exits
+        thread.sleep(_LOCK_NS)
+
+    def _unlock(self, thread, stripe):
+        self._lock_free_at[stripe] = thread.now
+
+    # -- operations ----------------------------------------------------------------
+
+    def put(self, thread, key, value):
+        """Insert or update, durably."""
+        thread.sleep(_HASH_NS)
+        idx = self._probe_slot(key)
+        stripe = self._stripe_for(idx)
+        self._lock(thread, stripe)
+        try:
+            existing = self._vindex.get(key)
+            if existing is not None:
+                self._update(thread, existing, key, value)
+                return
+            obj = self._encode_obj(key, value)
+            obj_off = self.pool.heap.alloc(len(obj)) - self.pool.base
+            # 1. Persist the object, 2. publish the bucket pointer.
+            self._persist(thread, obj_off, obj)
+            self._persist(thread, self._bucket_addr(idx),
+                          _BUCKET.pack(obj_off))
+            self._vtable[idx] = obj_off
+            self._vindex[key] = (idx, obj_off)
+        finally:
+            self._unlock(thread, stripe)
+
+    def _update(self, thread, existing, key, value):
+        idx, obj_off = existing
+        old_vlen = self._obj_vlen(obj_off)
+        if old_vlen == len(value):
+            # In-place value overwrite (read-modify-write).
+            vaddr = obj_off + _OBJ_HEADER.size + len(key)
+            self.pool.read(thread, vaddr, len(value))
+            self._persist(thread, vaddr, value)
+            return
+        obj = self._encode_obj(key, value)
+        new_off = self.pool.heap.alloc(len(obj)) - self.pool.base
+        self._persist(thread, new_off, obj)
+        self._persist(thread, self._bucket_addr(idx),
+                      _BUCKET.pack(new_off))
+        self.pool.heap.free(self.pool.base + obj_off,
+                            _OBJ_HEADER.size + len(key) + old_vlen)
+        self._vtable[idx] = new_off
+        self._vindex[key] = (idx, new_off)
+
+    def delete(self, thread, key):
+        """Durably remove ``key``; returns True if it was present.
+
+        The bucket is overwritten with a tombstone sentinel (an 8-byte
+        atomic store) so linear-probe chains through it stay intact.
+        """
+        thread.sleep(_HASH_NS)
+        found = self._vindex.get(key)
+        if found is None:
+            return False
+        idx, obj_off = found
+        stripe = self._stripe_for(idx)
+        self._lock(thread, stripe)
+        try:
+            self._persist(thread, self._bucket_addr(idx),
+                          _BUCKET.pack(TOMBSTONE))
+            klen = len(key)
+            vlen = self._obj_vlen(obj_off)
+            self.pool.heap.free(self.pool.base + obj_off,
+                                _OBJ_HEADER.size + klen + vlen)
+            self._vtable[idx] = TOMBSTONE
+            del self._vindex[key]
+            return True
+        finally:
+            self._unlock(thread, stripe)
+
+    def items(self):
+        """All live (key, value) pairs, from the volatile view."""
+        out = []
+        for key, (idx, obj_off) in self._vindex.items():
+            hdr = self.pool.read_volatile(obj_off, _OBJ_HEADER.size)
+            klen, _, vlen = _OBJ_HEADER.unpack(hdr)
+            body = self.pool.read_volatile(
+                obj_off + _OBJ_HEADER.size, klen + vlen)
+            out.append((key, body[klen:]))
+        return sorted(out)
+
+    def get(self, thread, key):
+        """Durable-state-independent read of the latest value."""
+        thread.sleep(_HASH_NS)
+        found = self._vindex.get(key)
+        if found is None:
+            return None
+        _, obj_off = found
+        raw = self.pool.read(thread, obj_off, _OBJ_HEADER.size)
+        klen, _, vlen = _OBJ_HEADER.unpack(raw)
+        body = self.pool.read(thread, obj_off + _OBJ_HEADER.size,
+                              klen + vlen)
+        return body[klen:]
+
+    def __len__(self):
+        return len(self._vindex)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _probe_slot(self, key):
+        """Linear probing on the volatile mirror.
+
+        Tombstoned slots are reusable for inserts but do not terminate
+        a probe (the key may live beyond them).
+        """
+        idx = _hash(key) % self.buckets
+        first_tombstone = None
+        for _ in range(self.buckets):
+            off = self._vtable[idx]
+            if off == 0:
+                return idx if first_tombstone is None else first_tombstone
+            if off == TOMBSTONE:
+                if first_tombstone is None:
+                    first_tombstone = idx
+            elif self._obj_key(off) == key:
+                return idx
+            idx = (idx + 1) % self.buckets
+        if first_tombstone is not None:
+            return first_tombstone
+        raise RuntimeError("cmap full")
+
+    def _obj_key(self, obj_off):
+        raw = self.pool.read_volatile(obj_off, _OBJ_HEADER.size)
+        klen, _, _ = _OBJ_HEADER.unpack(raw)
+        return self.pool.read_volatile(obj_off + _OBJ_HEADER.size, klen)
+
+    def _obj_vlen(self, obj_off):
+        raw = self.pool.read_volatile(obj_off, _OBJ_HEADER.size)
+        _, _, vlen = _OBJ_HEADER.unpack(raw)
+        return vlen
+
+    # -- recovery -----------------------------------------------------------------
+
+    @classmethod
+    def open(cls, pool, table_off, buckets=4096, stripes=64):
+        """Rebuild the volatile index from the persistent table."""
+        inst = cls(pool, buckets=buckets, stripes=stripes,
+                   table_off=table_off)
+        for idx in range(buckets):
+            raw = pool.read_persistent(inst._bucket_addr(idx),
+                                       _BUCKET.size)
+            obj_off = _BUCKET.unpack(raw)[0]
+            if obj_off == TOMBSTONE:
+                inst._vtable[idx] = TOMBSTONE
+                continue
+            if not obj_off:
+                continue
+            hdr = pool.read_persistent(obj_off, _OBJ_HEADER.size)
+            klen, _, vlen = _OBJ_HEADER.unpack(hdr)
+            key = pool.read_persistent(obj_off + _OBJ_HEADER.size, klen)
+            inst._vtable[idx] = obj_off
+            inst._vindex[bytes(key)] = (idx, obj_off)
+        return inst
+
+    @property
+    def table_offset(self):
+        return self._table_off

@@ -1,0 +1,65 @@
+"""The sorted engine: PMemKV's vsmap/stree analogue.
+
+A second storage engine over the persistent skiplist so the store
+supports range queries, mirroring pmemkv's engine families (cmap for
+concurrent hashing, sorted engines for ordered access).  Shares the
+pool abstraction with :class:`~repro.pmemkv.cmap.CMap`.
+"""
+
+from repro.kvstore.persistent_skiplist import PersistentSkipList
+
+
+class SMap:
+    """Sorted persistent map with range scans (single-writer engine)."""
+
+    def __init__(self, pool, arena_off=None, capacity=8 * 1024 * 1024,
+                 seed=0):
+        self.pool = pool
+        if arena_off is None:
+            arena_off = pool.heap.alloc(capacity) - pool.base
+        self.arena_off = arena_off
+        self.capacity = capacity
+        self._index = PersistentSkipList(
+            pool.ns, pool.base + arena_off, capacity, seed=seed)
+
+    def put(self, thread, key, value):
+        self._index.put(thread, key, value)
+
+    def get(self, thread, key):
+        return self._index.get(thread, key)
+
+    def delete(self, thread, key):
+        self._index.delete(thread, key)
+
+    def __len__(self):
+        return sum(1 for _, v in self._index.items() if v is not None)
+
+    def get_range(self, thread, start=None, end=None, limit=None):
+        """Ordered (key, value) pairs with keys in ``[start, end)``."""
+        out = []
+        for key, value in self._index.items():
+            if value is None:
+                continue
+            if start is not None and key < start:
+                continue
+            if end is not None and key >= end:
+                break
+            out.append((key, value))
+            if limit is not None and len(out) >= limit:
+                break
+        thread.sleep(20.0 * max(1, len(out)))
+        return out
+
+    def count_all(self):
+        return len(self)
+
+    @classmethod
+    def open(cls, pool, arena_off, capacity=8 * 1024 * 1024):
+        """Recover the engine from the persistent arena after a crash."""
+        inst = cls.__new__(cls)
+        inst.pool = pool
+        inst.arena_off = arena_off
+        inst.capacity = capacity
+        inst._index = PersistentSkipList.recover(
+            pool.ns, pool.base + arena_off, capacity)
+        return inst

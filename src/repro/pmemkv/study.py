@@ -1,0 +1,90 @@
+"""PMemKV NUMA degradation (Figure 19).
+
+The included pmemkv benchmark's ``overwrite`` workload: every
+operation is a read-modify-write of an existing key.  We sweep thread
+count for four placements of the pool (local/remote Optane,
+local/remote DRAM): local Optane scales with threads; remote Optane
+collapses once more than a couple of threads mix reads and writes over
+the UPI link — the paper measures up to 4.5x degradation (18x versus
+DRAM).
+"""
+
+import random
+from dataclasses import dataclass
+
+from repro._units import MIB, gb_per_s
+from repro.pmdk.pool import PmemPool
+from repro.pmemkv.cmap import CMap
+from repro.sim import Machine, run_workloads
+
+KEY_SIZE = 16
+VALUE_SIZE = 1024
+
+
+@dataclass
+class OverwriteResult:
+    """One point of Figure 19."""
+
+    kind: str
+    threads: int
+    bandwidth_gbps: float
+    kops_per_sec: float
+
+
+def _populate(pool, cmap, thread, keys):
+    for key in keys:
+        cmap.put(thread, key, b"\x11" * VALUE_SIZE)
+
+
+def overwrite_benchmark(kind="optane", threads=4, keys=1024,
+                        ops_per_thread=400, machine=None, seed=3):
+    """Run the overwrite (read-modify-write) workload."""
+    m = machine if machine is not None else Machine()
+    setup = m.thread(socket=0 if not kind.endswith("remote") else 1)
+    pool = PmemPool.create(m, setup, kind=kind, size=32 * MIB)
+    cmap = CMap(pool)
+    key_list = [b"k%014d" % i for i in range(keys)]
+    _populate(pool, cmap, setup, key_list)
+    ts = m.threads(threads, socket=0)
+
+    def worker(t):
+        rng = random.Random(seed + t.tid)
+        for _ in range(ops_per_thread):
+            key = key_list[rng.randrange(keys)]
+            old = cmap.get(t, key)
+            new = bytes([(old[0] + 1) & 0xFF]) * VALUE_SIZE
+            cmap.put(t, key, new)
+            yield
+
+    floor = max(t.now for t in ts + [setup])
+    for t in ts:
+        t.now = floor
+    elapsed = run_workloads([(t, worker(t)) for t in ts]) - floor
+    moved = threads * ops_per_thread * (KEY_SIZE + 2 * VALUE_SIZE)
+    total_ops = threads * ops_per_thread
+    return OverwriteResult(
+        kind=kind, threads=threads,
+        bandwidth_gbps=gb_per_s(moved, elapsed),
+        kops_per_sec=total_ops / (elapsed / 1e9) / 1e3,
+    )
+
+
+def figure19(thread_counts=(1, 2, 4, 8, 12),
+             kinds=("dram", "dram-remote", "optane", "optane-remote"),
+             ops_per_thread=300):
+    """All four curves: ``{kind: [(threads, OverwriteResult)]}``."""
+    out = {}
+    for kind in kinds:
+        out[kind] = [
+            (n, overwrite_benchmark(kind, threads=n,
+                                    ops_per_thread=ops_per_thread))
+            for n in thread_counts
+        ]
+    return out
+
+
+def degradation(results, kind="optane"):
+    """Peak local-to-remote bandwidth ratio for a memory type."""
+    local = max(r.bandwidth_gbps for _, r in results[kind])
+    remote = max(r.bandwidth_gbps for _, r in results[kind + "-remote"])
+    return local / remote

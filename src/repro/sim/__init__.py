@@ -1,0 +1,47 @@
+"""The simulated Cascade Lake + Optane DC PMM platform.
+
+Public surface::
+
+    from repro.sim import Machine, MachineConfig, default_config
+
+    m = Machine()
+    pmem = m.namespace("optane")          # 6 DIMMs, 4 KB interleaved
+    t = m.thread()
+    pmem.pwrite(t, 0, b"hello", instr="ntstore")
+    m.power_fail()
+    assert pmem.read_persistent(0, 5) == b"hello"
+"""
+
+from repro.sim.config import (
+    AITConfig, CacheConfig, ChannelConfig, DRAMConfig, InterleaveConfig,
+    MachineConfig, MediaConfig, NUMAConfig, WPQConfig, XPBufferConfig,
+    default_config,
+)
+from repro.sim.counters import (
+    CounterSnapshot, aggregate, effective_write_ratio, write_amplification,
+)
+from repro.sim.crashpoints import (
+    CrashInjector, SimulatedPowerFailure, count_persists,
+    exhaustive_crash_test,
+)
+from repro.sim.engine import (
+    BackfillResource, DirectionalLink, Resource, Scheduler, ThreadCtx,
+    run_workloads,
+)
+from repro.sim.memmode import (
+    MemoryModeNamespace, NearMemoryCache, make_memory_mode_namespace,
+)
+from repro.sim.namespace import Namespace
+from repro.sim.platform import Machine
+
+__all__ = [
+    "AITConfig", "BackfillResource", "CacheConfig", "ChannelConfig",
+    "CounterSnapshot", "CrashInjector", "SimulatedPowerFailure",
+    "count_persists", "exhaustive_crash_test",
+    "DRAMConfig", "DirectionalLink", "InterleaveConfig", "Machine",
+    "MachineConfig", "MediaConfig", "MemoryModeNamespace", "NUMAConfig",
+    "Namespace", "NearMemoryCache", "Resource", "Scheduler", "ThreadCtx",
+    "WPQConfig", "XPBufferConfig", "aggregate", "default_config",
+    "effective_write_ratio", "make_memory_mode_namespace", "run_workloads",
+    "write_amplification",
+]

@@ -1,0 +1,125 @@
+"""Address math and sparse backing storage for simulated memories.
+
+A :class:`DataStore` keeps the *contents* of a namespace as two sparse
+page maps: the volatile view (what the CPU reads) and the persistent
+view (what survives a simulated power failure).  Lines move from the
+volatile to the persistent view exactly when the simulator decides the
+corresponding store reached the ADR domain.
+"""
+
+from repro._units import CACHELINE, align_down
+
+_PAGE = 4096
+
+
+class DataStore:
+    """Sparse byte storage with separate volatile and persistent views."""
+
+    def __init__(self):
+        self._volatile = {}
+        self._persistent = {}
+
+    # -- page helpers -------------------------------------------------------
+
+    @staticmethod
+    def _split(addr, size):
+        """Yield (page_index, offset_in_page, chunk_len) covering the range."""
+        end = addr + size
+        while addr < end:
+            page = addr // _PAGE
+            off = addr % _PAGE
+            chunk = min(_PAGE - off, end - addr)
+            yield page, off, chunk
+            addr += chunk
+
+    def _page(self, view, page):
+        buf = view.get(page)
+        if buf is None:
+            buf = bytearray(_PAGE)
+            view[page] = buf
+        return buf
+
+    # -- volatile view ------------------------------------------------------
+
+    def write(self, addr, data):
+        """Write ``data`` into the volatile view at ``addr``."""
+        pos = 0
+        for page, off, chunk in self._split(addr, len(data)):
+            self._page(self._volatile, page)[off:off + chunk] = \
+                data[pos:pos + chunk]
+            pos += chunk
+
+    def read(self, addr, size):
+        """Read ``size`` bytes from the volatile view."""
+        out = bytearray(size)
+        pos = 0
+        for page, off, chunk in self._split(addr, size):
+            buf = self._volatile.get(page)
+            if buf is not None:
+                out[pos:pos + chunk] = buf[off:off + chunk]
+            pos += chunk
+        return bytes(out)
+
+    # -- persistence --------------------------------------------------------
+
+    def persist_line(self, line_addr):
+        """Copy one cache line from the volatile to the persistent view."""
+        addr = align_down(line_addr, CACHELINE)
+        page = addr // _PAGE
+        off = addr % _PAGE
+        src = self._volatile.get(page)
+        if src is None:
+            return
+        self._page(self._persistent, page)[off:off + CACHELINE] = \
+            src[off:off + CACHELINE]
+
+    def persist_range(self, addr, size):
+        """Persist every line overlapping ``[addr, addr+size)``."""
+        start = align_down(addr, CACHELINE)
+        end = addr + size
+        while start < end:
+            self.persist_line(start)
+            start += CACHELINE
+
+    def read_persistent(self, addr, size):
+        """Read ``size`` bytes from the persistent (post-crash) view."""
+        out = bytearray(size)
+        pos = 0
+        for page, off, chunk in self._split(addr, size):
+            buf = self._persistent.get(page)
+            if buf is not None:
+                out[pos:pos + chunk] = buf[off:off + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def power_fail(self):
+        """Drop the volatile view: only persisted data survives."""
+        self._volatile = {
+            page: bytearray(buf) for page, buf in self._persistent.items()
+        }
+
+    def persist_everything(self):
+        """Force the persistent view to match the volatile view (test aid)."""
+        self._persistent = {
+            page: bytearray(buf) for page, buf in self._volatile.items()
+        }
+
+
+def split_lines(addr, size):
+    """Split ``[addr, addr+size)`` into (line_addr, offset, length) pieces."""
+    end = addr + size
+    pieces = []
+    cur = addr
+    while cur < end:
+        line = align_down(cur, CACHELINE)
+        chunk = min(line + CACHELINE - cur, end - cur)
+        pieces.append((line, cur, chunk))
+        cur += chunk
+    return pieces
+
+
+def line_addresses(addr, size):
+    """The distinct cache-line base addresses touched by a range."""
+    first = align_down(addr, CACHELINE)
+    last = align_down(addr + size - 1, CACHELINE)
+    return range(first, last + CACHELINE, CACHELINE)

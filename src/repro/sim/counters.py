@@ -1,0 +1,91 @@
+"""Hardware-counter emulation.
+
+The paper's key efficiency metric, the Effective Write Ratio (EWR), is
+computed from DIMM hardware counters: bytes issued by the iMC divided
+by bytes actually written to the 3D XPoint media.  Every simulated DIMM
+owns a :class:`DimmCounters`; snapshots allow measuring EWR over just
+the interesting phase of an experiment.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CounterSnapshot:
+    """Immutable copy of the counters at one instant."""
+
+    imc_read_bytes: int = 0
+    imc_write_bytes: int = 0
+    media_read_bytes: int = 0
+    media_write_bytes: int = 0
+    migrations: int = 0
+
+
+class DimmCounters:
+    """Mutable per-DIMM counters, mirroring the DIMM's SMART counters."""
+
+    __slots__ = (
+        "imc_read_bytes", "imc_write_bytes",
+        "media_read_bytes", "media_write_bytes", "migrations",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self):
+        self.imc_read_bytes = 0
+        self.imc_write_bytes = 0
+        self.media_read_bytes = 0
+        self.media_write_bytes = 0
+        self.migrations = 0
+
+    def snapshot(self):
+        return CounterSnapshot(
+            imc_read_bytes=self.imc_read_bytes,
+            imc_write_bytes=self.imc_write_bytes,
+            media_read_bytes=self.media_read_bytes,
+            media_write_bytes=self.media_write_bytes,
+            migrations=self.migrations,
+        )
+
+    def delta(self, since):
+        """Counter increments since an earlier :meth:`snapshot`."""
+        return CounterSnapshot(
+            imc_read_bytes=self.imc_read_bytes - since.imc_read_bytes,
+            imc_write_bytes=self.imc_write_bytes - since.imc_write_bytes,
+            media_read_bytes=self.media_read_bytes - since.media_read_bytes,
+            media_write_bytes=self.media_write_bytes - since.media_write_bytes,
+            migrations=self.migrations - since.migrations,
+        )
+
+
+def effective_write_ratio(delta):
+    """EWR = iMC write bytes / media write bytes (inverse write amplification).
+
+    Values below 1.0 mean the DIMM wrote more internally than the
+    application requested; values near 1.0 mean the XPBuffer combined
+    writes perfectly.  Returns ``float('inf')`` when nothing reached the
+    media (everything still buffered).
+    """
+    if delta.media_write_bytes == 0:
+        return float("inf") if delta.imc_write_bytes else 1.0
+    return delta.imc_write_bytes / delta.media_write_bytes
+
+
+def write_amplification(delta):
+    """Media bytes written per byte issued by the iMC (1 / EWR)."""
+    if delta.imc_write_bytes == 0:
+        return 0.0
+    return delta.media_write_bytes / delta.imc_write_bytes
+
+
+def aggregate(deltas):
+    """Sum counter deltas across several DIMMs."""
+    total = CounterSnapshot()
+    for d in deltas:
+        total.imc_read_bytes += d.imc_read_bytes
+        total.imc_write_bytes += d.imc_write_bytes
+        total.media_read_bytes += d.media_read_bytes
+        total.media_write_bytes += d.media_write_bytes
+        total.migrations += d.migrations
+    return total

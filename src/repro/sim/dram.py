@@ -1,0 +1,70 @@
+"""DDR4 DRAM DIMM model (the comparison baseline throughout the paper).
+
+DRAM is modelled as a pool of banks with a row buffer each: an access
+that hits the open row is cheap; a row miss pays activate+precharge.
+Unlike the Optane model there is no access-granularity mismatch, no
+write-combining buffer and no wear levelling — which is precisely why
+DRAM "emulation" of persistent memory misses so much behaviour.
+"""
+
+from repro._units import CACHELINE
+from repro.sim.counters import DimmCounters
+from repro.sim.engine import Resource
+
+
+class DRAMDimm:
+    """One DDR4 DIMM with a simple per-bank open-row policy.
+
+    Reads and writes are served by separate pools: the iMC schedules
+    demand reads with priority and drains buffered writes opportunist-
+    ically, so a read issued now is never stalled behind write slots
+    the WPQ booked into the future.
+    """
+
+    WRITE_SLOTS = 4
+
+    def __init__(self, config, name):
+        self.name = name
+        self._cfg = config
+        self._banks = Resource(name + ".banks", config.banks)
+        self._write_slots = Resource(name + ".wr", self.WRITE_SLOTS)
+        self._open_rows = {}
+        self.counters = DimmCounters()
+
+    def _locate(self, dev_addr):
+        row = dev_addr // self._cfg.row_bytes
+        bank = row % self._cfg.banks
+        return bank, row
+
+    def _row_hit(self, dev_addr):
+        bank, row = self._locate(dev_addr)
+        hit = self._open_rows.get(bank) == row
+        self._open_rows[bank] = row
+        return hit
+
+    def read(self, now, dev_addr):
+        """Serve one 64 B read; returns the data-ready time."""
+        self.counters.imc_read_bytes += CACHELINE
+        if self._row_hit(dev_addr):
+            occ = self._cfg.row_hit_occupancy_ns
+        else:
+            occ = self._cfg.row_miss_occupancy_ns
+        _, end = self._banks.acquire(now, occ)
+        return end + self._cfg.read_extra_ns
+
+    def ingest_write(self, now, dev_addr):
+        """Accept one 64 B write; returns the accept time."""
+        self.counters.imc_write_bytes += CACHELINE
+        self._row_hit(dev_addr)
+        _, end = self._write_slots.acquire(now,
+                                           self._cfg.write_occupancy_ns)
+        return end
+
+    def drain(self, now):
+        return now
+
+    def reset(self):
+        self._banks.reset()
+        self._write_slots.reset()
+        self._open_rows.clear()
+        self.counters.reset()

@@ -1,0 +1,340 @@
+"""Virtual-time execution engine.
+
+The simulator does not use wall-clock time at all.  Every simulated
+thread owns a clock (in nanoseconds); shared hardware structures are
+modelled as :class:`Resource` server pools whose acquisition advances
+those clocks.  Multi-threaded workloads are generators driven by a
+:class:`Scheduler` that always steps the thread with the smallest
+clock, which makes contention results deterministic and independent of
+host machine speed.
+"""
+
+import heapq
+from collections import deque
+
+
+class Resource:
+    """A pool of ``servers`` identical units with deterministic service.
+
+    ``acquire(t, occupancy)`` books the earliest available server no
+    sooner than time ``t`` and returns ``(start, end)`` where
+    ``end = start + occupancy`` is when the server frees up.
+    """
+
+    __slots__ = ("name", "_free", "busy_ns", "_last_end")
+
+    def __init__(self, name, servers):
+        if servers < 1:
+            raise ValueError("a resource needs at least one server")
+        self.name = name
+        self._free = [0.0] * servers
+        heapq.heapify(self._free)
+        self.busy_ns = 0.0
+        self._last_end = 0.0
+
+    def acquire(self, now, occupancy):
+        """Occupy one server for ``occupancy`` ns, starting at or after ``now``."""
+        earliest = heapq.heappop(self._free)
+        start = earliest if earliest > now else now
+        end = start + occupancy
+        heapq.heappush(self._free, end)
+        self.busy_ns += occupancy
+        if end > self._last_end:
+            self._last_end = end
+        return start, end
+
+    def next_free_at(self):
+        """Earliest time at which some server is available."""
+        return self._free[0]
+
+    def reset(self, now=0.0):
+        """Clear all bookings (used when reusing a machine between runs)."""
+        self._free = [now] * len(self._free)
+        heapq.heapify(self._free)
+        self.busy_ns = 0.0
+        self._last_end = now
+
+
+class BackfillResource:
+    """A single-server resource that can reuse idle gaps.
+
+    A plain :class:`Resource` books strictly at the tail, so a thread
+    whose sparse transfers are spread across its operation leaves holes
+    that nobody else can use — which would falsely serialize a shared
+    link.  This variant keeps a bounded list of idle gaps and places
+    new work into the earliest gap it fits, like a real pipelined link
+    interleaving flits from many agents.
+    """
+
+    __slots__ = ("name", "_gaps", "_tail", "busy_ns", "max_gaps")
+
+    def __init__(self, name, max_gaps=128):
+        self.name = name
+        self._gaps = []              # sorted [(start, end)]
+        self._tail = 0.0
+        self.busy_ns = 0.0
+        self.max_gaps = max_gaps
+
+    def acquire(self, now, occupancy):
+        """Book ``occupancy`` ns at or after ``now``; returns (start, end)."""
+        self.busy_ns += occupancy
+        for i, (gs, ge) in enumerate(self._gaps):
+            start = gs if gs > now else now
+            if start + occupancy <= ge:
+                end = start + occupancy
+                replacement = []
+                if start - gs > 1e-9:
+                    replacement.append((gs, start))
+                if ge - end > 1e-9:
+                    replacement.append((end, ge))
+                self._gaps[i:i + 1] = replacement
+                return start, end
+        start = self._tail if self._tail > now else now
+        if start - self._tail > 1e-9:
+            self._gaps.append((self._tail, start))
+            if len(self._gaps) > self.max_gaps:
+                self._gaps.pop(0)
+        end = start + occupancy
+        self._tail = end
+        return start, end
+
+    def next_free_at(self):
+        if self._gaps:
+            return self._gaps[0][0]
+        return self._tail
+
+    @property
+    def _last_end(self):
+        return self._tail
+
+    def reset(self, now=0.0):
+        self._gaps = []
+        self._tail = now
+        self.busy_ns = 0.0
+
+
+class DirectionalLink(BackfillResource):
+    """A link that pays a turnaround cost on cross-agent direction change.
+
+    Models the UPI cross-socket interconnect: consecutive transfers in
+    the same direction stream back-to-back, but a read-after-write (or
+    write-after-read) inserts ``turnaround_ns`` of dead time — *when the
+    link is busy*.  A lone thread's sparse, latency-spaced transfers
+    arrive with idle gaps that let the link's buffering re-batch them
+    (no penalty), which is why the paper finds single-threaded remote
+    bandwidth close to local while multi-threaded mixed traffic
+    collapses by an order of magnitude (Section 5.4, Figure 18).
+    """
+
+    __slots__ = ("turnaround_ns", "idle_reset_ns", "_direction", "_source",
+                 "turnarounds")
+
+    def __init__(self, name, turnaround_ns, idle_reset_ns=30.0):
+        super().__init__(name)
+        self.turnaround_ns = turnaround_ns
+        self.idle_reset_ns = idle_reset_ns
+        self._direction = None
+        self._source = None
+        self.turnarounds = 0
+
+    def transfer(self, now, occupancy, direction, source=None, heavy=True):
+        """Book the link for one transfer in ``direction`` ('rd' or 'wr').
+
+        ``source`` identifies the requesting agent (thread): a single
+        agent's alternating reads and writes coalesce in its request
+        queue and pay no turnaround; interleaved switches between
+        *different* agents thrash the link scheduler and do.
+
+        ``heavy`` marks transfers against a slow home device (DDR-T):
+        only those pay the turnaround, because the penalty models the
+        home iMC's read/write scheduling degenerating when its slow
+        write queue must drain between remote reads.  DRAM-homed
+        traffic switches direction for free, which is why the paper
+        sees the mixed-traffic collapse only for remote Optane.
+        """
+        if now > self._last_end + self.idle_reset_ns:
+            # The link went idle: buffered re-batching hides the switch.
+            self._direction = None
+        cost = occupancy
+        if (heavy and self._direction is not None
+                and direction != self._direction
+                and source != self._source):
+            cost += self.turnaround_ns
+            self.turnarounds += 1
+            # A turnaround stalls the whole pipeline: nothing may be
+            # backfilled into earlier idle slots across it.
+            self._gaps.clear()
+        self._direction = direction
+        self._source = source
+        return self.acquire(now, cost)
+
+    def reset(self, now=0.0):
+        super().reset(now)
+        self._direction = None
+        self._source = None
+        self.turnarounds = 0
+
+
+class ThreadCtx:
+    """Execution context of one simulated hardware thread.
+
+    Tracks the thread clock and the two per-thread pipelining windows:
+
+    * ``load_window`` outstanding cache-line fills (line fill buffers),
+    * ``store_window`` outstanding stores not yet accepted past the WPQ
+      (the documented 256 B per-thread WPQ occupancy limit).
+
+    ``pending_persists`` records the completion times of all flushes,
+    write-backs and non-temporal stores that an ``sfence`` must drain.
+    """
+
+    __slots__ = (
+        "machine", "tid", "socket", "now", "load_window", "store_window",
+        "_loads", "_stores", "pending_persists", "bytes_read",
+        "bytes_written", "latencies", "fence_ns",
+    )
+
+    def __init__(self, machine, tid, socket, load_window, store_window,
+                 fence_ns=10.0):
+        self.machine = machine
+        self.tid = tid
+        self.socket = socket
+        self.now = 0.0
+        self.load_window = load_window
+        self.store_window = store_window
+        self.fence_ns = fence_ns
+        self._loads = deque()
+        self._stores = deque()
+        self.pending_persists = []
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.latencies = None       # enable with collect_latencies()
+
+    # -- window management -------------------------------------------------
+
+    def admit_load(self):
+        """Block (advance the clock) until a load slot is free."""
+        if len(self._loads) >= self.load_window:
+            done = self._loads.popleft()
+            if done > self.now:
+                self.now = done
+        return self.now
+
+    def track_load(self, completion):
+        self._loads.append(completion)
+
+    def admit_store(self, lead_ns=0.0):
+        """Block until a WPQ slot for this thread will be free.
+
+        ``lead_ns`` is the pipeline latency between issuing the store
+        and its arrival at the WPQ: the thread only needs the slot by
+        *then*, so issue is delayed to ``oldest_accept - lead_ns`` (the
+        store instruction itself retires quickly; the WPQ-occupancy
+        window is what back-pressures).
+        """
+        if len(self._stores) >= self.store_window:
+            done = self._stores.popleft()
+            if done - lead_ns > self.now:
+                self.now = done - lead_ns
+        return self.now
+
+    def track_store(self, completion):
+        self._stores.append(completion)
+
+    def drain(self):
+        """Wait for every outstanding load and store (used by fences)."""
+        for done in self._loads:
+            if done > self.now:
+                self.now = done
+        self._loads.clear()
+        for done in self._stores:
+            if done > self.now:
+                self.now = done
+        self._stores.clear()
+
+    def drain_persists(self):
+        """Advance the clock past all pending persist completions."""
+        if self.pending_persists:
+            latest = max(self.pending_persists)
+            if latest > self.now:
+                self.now = latest
+            self.pending_persists.clear()
+
+    def sleep(self, ns):
+        """Idle the thread for ``ns`` simulated nanoseconds."""
+        self.now += ns
+
+    def collect_latencies(self):
+        """Start recording per-operation latencies (for latency benches)."""
+        self.latencies = []
+        return self
+
+    def record_latency(self, ns):
+        if self.latencies is not None:
+            self.latencies.append(ns)
+
+    # -- fences -------------------------------------------------------------
+
+    def sfence(self):
+        """Order prior flushes/write-backs/ntstores: wait for the ADR."""
+        self.drain_persists()
+        self.now += self.fence_ns
+        return self.now
+
+    def mfence(self):
+        """Full fence: drain loads, stores and pending persists."""
+        self.drain()
+        self.drain_persists()
+        self.now += self.fence_ns
+        return self.now
+
+
+class Scheduler:
+    """Interleaves generator-based workloads in virtual-time order.
+
+    Each workload is a generator that performs simulated memory
+    operations on its thread context and ``yield``s at interleaving
+    points (typically once per operation or small batch).  The
+    scheduler repeatedly resumes the generator whose thread clock is
+    smallest, which is how cross-thread contention on shared resources
+    is captured.
+    """
+
+    def __init__(self):
+        self._entries = []
+
+    def spawn(self, thread, generator):
+        self._entries.append([thread, generator, False])
+
+    def run(self):
+        """Drive all workloads to completion; returns the final max clock."""
+        heap = [(e[0].now, i) for i, e in enumerate(self._entries) if not e[2]]
+        heapq.heapify(heap)
+        while heap:
+            _, idx = heapq.heappop(heap)
+            entry = self._entries[idx]
+            thread, gen, finished = entry
+            if finished:
+                continue
+            try:
+                next(gen)
+            except StopIteration:
+                entry[2] = True
+                continue
+            heapq.heappush(heap, (thread.now, idx))
+        return max((e[0].now for e in self._entries), default=0.0)
+
+    @property
+    def threads(self):
+        return [e[0] for e in self._entries]
+
+
+def run_workloads(pairs):
+    """Convenience wrapper: run ``[(thread, generator), ...]`` to completion.
+
+    Returns the largest finishing thread clock.
+    """
+    sched = Scheduler()
+    for thread, gen in pairs:
+        sched.spawn(thread, gen)
+    return sched.run()

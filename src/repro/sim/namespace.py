@@ -1,0 +1,267 @@
+"""A pmem namespace: the byte-addressable window applications use.
+
+A namespace binds an address range to a set of DIMMs (interleaved or
+not), a socket, and a backing :class:`~repro.sim.address.DataStore`.
+All simulated memory instructions live here:
+
+* ``load`` / ``store`` — cached accesses (stores are write-allocate,
+  i.e. a store miss costs a read of the line, which is the extra read
+  that makes ``store+clwb`` lose to ``ntstore`` for large transfers);
+* ``ntstore`` — bypasses the cache, straight at the WPQ;
+* ``clwb`` / ``clflush`` / ``clflushopt`` — flush instructions;
+* data convenience wrappers ``pread`` / ``pwrite`` used by the
+  application substrates.
+
+Persistence semantics: a line is durable once it is inserted into the
+iMC's WPQ (the ADR domain).  ``ThreadCtx.sfence`` waits for exactly the
+pending insertions this thread ordered.
+"""
+
+from repro._units import CACHELINE
+from repro.sim.address import DataStore, line_addresses
+from repro.sim.imc import wpq_insert_latency
+
+
+class Namespace:
+    """One /dev/pmem-style device, byte-addressable by simulated threads."""
+
+    def __init__(self, machine, name, devices, mapping, socket, is_optane):
+        self.machine = machine
+        self.name = name
+        self.ns_id = machine._register_namespace(self)
+        self.socket = socket
+        self.is_optane = is_optane
+        self._devices = devices              # [(channel, dimm), ...]
+        self._mapping = mapping
+        self.data = DataStore()
+        self._cfg = machine.config
+
+    # -- helpers --------------------------------------------------------------
+
+    def _route(self, line_addr):
+        index, dev_addr = self._mapping.locate(line_addr)
+        return self._devices[index]
+
+    def _remote(self, thread):
+        return thread.socket != self.socket
+
+    def _cache(self, thread):
+        return self.machine.caches[thread.socket]
+
+    @property
+    def dimms(self):
+        return [dimm for _, dimm in self._devices]
+
+    # -- loads ----------------------------------------------------------------
+
+    def load(self, thread, addr, size=CACHELINE):
+        """Issue loads covering ``[addr, addr+size)``; returns last completion."""
+        completion = thread.now
+        for line in line_addresses(addr, size):
+            completion = self._load_line(thread, line)
+        return completion
+
+    def _load_line(self, thread, line):
+        cfg = self._cfg.cache
+        thread.now += cfg.issue_ns
+        issued = thread.now
+        cache = self._cache(thread)
+        key = (self.ns_id, line)
+        if cache.lookup(key):
+            completion = thread.now + cfg.hit_ns
+            thread.now = completion
+            thread.bytes_read += CACHELINE
+            if thread.latencies is not None:
+                thread.record_latency(completion - issued)
+            return completion
+        thread.admit_load()
+        start = thread.now
+        remote = self._remote(thread)
+        if remote:
+            start = self.machine.upi.read_transfer(
+                start, source=thread.tid, heavy=self.is_optane)
+        channel, dimm = self._route(line)
+        ch_end = channel.transfer_read(start)
+        data_ready = dimm.read(ch_end, self._dev_addr(line))
+        if remote:
+            data_ready += self.machine.upi.read_extra_ns
+        victim = cache.fill(key, ready_ns=data_ready)
+        if victim is not None and victim[1]:
+            self.machine._evict_writeback(victim[0], thread.now)
+        thread.track_load(data_ready)
+        thread.bytes_read += CACHELINE
+        if thread.latencies is not None:
+            thread.record_latency(data_ready - issued)
+        return data_ready
+
+    def _dev_addr(self, line):
+        _, dev_addr = self._mapping.locate(line)
+        return dev_addr
+
+    # -- temporal stores --------------------------------------------------------
+
+    def store(self, thread, addr, size=CACHELINE, data=None):
+        """Cached stores covering the range (durable only after a flush)."""
+        if data is not None:
+            self.data.write(addr, data)
+        for line in line_addresses(addr, size):
+            self._store_line(thread, line)
+
+    def _store_line(self, thread, line):
+        cfg = self._cfg.cache
+        thread.now += cfg.issue_ns
+        cache = self._cache(thread)
+        key = (self.ns_id, line)
+        if cache.mark_dirty(key):
+            return
+        # Write-allocate: fetch the line before modifying it (RFO).
+        thread.admit_load()
+        start = thread.now
+        remote = self._remote(thread)
+        if remote:
+            start = self.machine.upi.read_transfer(
+                start, source=thread.tid, heavy=self.is_optane)
+        channel, dimm = self._route(line)
+        ch_end = channel.transfer_read(start)
+        data_ready = dimm.read(ch_end, self._dev_addr(line))
+        if remote:
+            data_ready += self.machine.upi.read_extra_ns
+        victim = cache.fill(key, dirty=True, ready_ns=data_ready)
+        if victim is not None and victim[1]:
+            self.machine._evict_writeback(victim[0], thread.now)
+        thread.track_load(data_ready)
+
+    # -- flushes ----------------------------------------------------------------
+
+    def clwb(self, thread, addr, size=CACHELINE):
+        """Write back (without evicting) every line of the range."""
+        self._flush(thread, addr, size, invalidate=False)
+
+    def clflushopt(self, thread, addr, size=CACHELINE):
+        """Write back and evict every line of the range (non-blocking)."""
+        self._flush(thread, addr, size, invalidate=True)
+
+    # clflush has the same simulated cost; its serialization is modelled
+    # by callers fencing after each line.
+    clflush = clflushopt
+
+    def _flush(self, thread, addr, size, invalidate):
+        cache = self._cache(thread)
+        for line in line_addresses(addr, size):
+            thread.now += self._cfg.cache.flush_issue_ns
+            key = (self.ns_id, line)
+            ready = cache.ready_time(key)
+            if invalidate:
+                dirty = cache.invalidate(key)
+            else:
+                dirty = cache.clean(key)
+            if dirty:
+                self._send_store(thread, line, instr="clwb", ordered=True,
+                                 not_before=ready)
+
+    # -- non-temporal stores -------------------------------------------------------
+
+    def ntstore(self, thread, addr, size=CACHELINE, data=None):
+        """Write-combined stores that bypass the cache hierarchy."""
+        if data is not None:
+            self.data.write(addr, data)
+        cache = self._cache(thread)
+        for line in line_addresses(addr, size):
+            thread.now += self._cfg.cache.issue_ns
+            cache.invalidate((self.ns_id, line))
+            self._send_store(thread, line, instr="nt", ordered=True)
+
+    # -- the store pipeline ---------------------------------------------------------
+
+    def _send_store(self, thread, line, instr, ordered, not_before=0.0):
+        """Push one 64 B line through WPQ -> channel -> DIMM.
+
+        ``not_before`` delays the WPQ insertion until the line's cache
+        fill has completed (a write-back cannot outrun its own RFO).
+        """
+        insert_lat = wpq_insert_latency(self._cfg.wpq, instr, self.is_optane)
+        remote = self._remote(thread)
+        lead = insert_lat
+        if remote:
+            lead += self.machine.upi.write_extra_ns
+        issued = thread.now
+        thread.admit_store(lead_ns=lead)
+        insert = max(thread.now + insert_lat, not_before + insert_lat)
+        if remote:
+            insert = self.machine.upi.write_transfer(
+                thread.now, source=thread.tid,
+                heavy=self.is_optane) + insert_lat
+            insert += self.machine.upi.write_extra_ns
+        if ordered:
+            thread.pending_persists.append(insert)
+        if thread.latencies is not None:
+            # A store's latency, as seen by software, is the time until
+            # it reaches the ADR domain — including any back-pressure
+            # from a full per-thread WPQ allotment.
+            thread.record_latency(insert - issued)
+        channel, dimm = self._route(line)
+        if instr == "nt":
+            ch_end = channel.transfer_ntstore(insert)
+        else:
+            ch_end = channel.transfer_writeback(insert)
+        accept = dimm.ingest_write(ch_end, self._dev_addr(line))
+        thread.track_store(accept)
+        thread.bytes_written += CACHELINE
+        self.data.persist_line(line)
+        if self.machine._persist_hook is not None:
+            self.machine._persist_hook()
+        return insert
+
+    def _evict_writeback(self, line, now):
+        """A natural cache eviction wrote this dirty line back."""
+        channel, dimm = self._route(line)
+        ch_end = channel.transfer_writeback(now)
+        dimm.ingest_write(ch_end, self._dev_addr(line))
+        self.data.persist_line(line)
+        if self.machine._persist_hook is not None:
+            self.machine._persist_hook()
+
+    # -- data-carrying convenience API (used by the app substrates) -----------------
+
+    def pwrite(self, thread, addr, data, instr="ntstore", fence=True):
+        """Write ``data`` durably using the chosen persistence path.
+
+        ``instr``: ``"ntstore"`` (cache-bypassing), ``"clwb"`` (store +
+        per-line clwb) or ``"store"`` (no flush — *not* durable until
+        something else writes the lines back).
+        """
+        if instr == "ntstore":
+            self.ntstore(thread, addr, len(data), data=data)
+        elif instr == "clwb":
+            self.store(thread, addr, len(data), data=data)
+            self.clwb(thread, addr, len(data))
+        elif instr == "store":
+            self.store(thread, addr, len(data), data=data)
+        else:
+            raise ValueError("unknown persistence instruction: %r" % (instr,))
+        if fence and instr != "store":
+            thread.sfence()
+
+    def pread(self, thread, addr, size):
+        """Load ``size`` bytes (paying simulated time) and return them."""
+        self.load(thread, addr, size)
+        return self.data.read(addr, size)
+
+    def read_volatile(self, addr, size):
+        """Peek at the CPU-visible contents without simulated cost."""
+        return self.data.read(addr, size)
+
+    def read_persistent(self, addr, size):
+        """Read the post-crash (durable) contents without simulated cost."""
+        return self.data.read_persistent(addr, size)
+
+    # -- counters -------------------------------------------------------------------
+
+    def counter_snapshots(self):
+        return [dimm.counters.snapshot() for dimm in self.dimms]
+
+    def counter_deltas(self, snapshots):
+        return [
+            dimm.counters.delta(snap)
+            for dimm, snap in zip(self.dimms, snapshots)
+        ]

@@ -1,0 +1,48 @@
+"""Cross-socket topology: the UPI interconnect.
+
+Remote accesses pay a fixed latency adder plus occupancy on a shared
+directional link.  The link charges a turnaround penalty whenever
+consecutive transfers change direction — under multi-threaded mixed
+read/write traffic the turnarounds dominate and remote bandwidth
+collapses (up to ~30x in the paper), which is guideline #4: avoid
+mixed or multi-threaded accesses to remote NUMA nodes.
+"""
+
+from repro.sim.engine import DirectionalLink
+
+
+class Interconnect:
+    """The UPI link between the two sockets."""
+
+    def __init__(self, config, name="upi"):
+        self._cfg = config
+        self._link = DirectionalLink(name, config.turnaround_ns)
+
+    @property
+    def read_extra_ns(self):
+        return self._cfg.read_extra_ns
+
+    @property
+    def write_extra_ns(self):
+        return self._cfg.write_extra_ns
+
+    @property
+    def turnarounds(self):
+        return self._link.turnarounds
+
+    def read_transfer(self, now, source=None, heavy=True):
+        """Book a 64 B read-response transfer; returns its end time."""
+        _, end = self._link.transfer(now, self._cfg.read_occ_ns, "rd",
+                                     source=source, heavy=heavy)
+        return end
+
+    def write_transfer(self, now, source=None, heavy=True):
+        """Book a 64 B write transfer; returns its end time."""
+        occ = self._cfg.write_occ_ns if heavy \
+            else self._cfg.write_occ_light_ns
+        _, end = self._link.transfer(now, occ, "wr",
+                                     source=source, heavy=heavy)
+        return end
+
+    def reset(self):
+        self._link.reset()

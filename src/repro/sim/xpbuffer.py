@@ -1,0 +1,145 @@
+"""The XPBuffer: on-DIMM write-combining buffer.
+
+A 16 KB (64-XPLine) set-associative structure.  Its job is to merge
+64 B DDR-T transfers into full 256 B media writes.  Two properties of
+this model produce headline results of the paper:
+
+* the limited total capacity gives the 16 KB locality window of
+  Figure 10 (writes within 64 XPLines combine; beyond that they don't);
+* the limited associativity makes concurrent write streams conflict,
+  evicting partially filled lines and collapsing EWR as thread counts
+  rise (Figures 4 and 9, guideline #3).
+
+Reads allocate entries too, so read streams compete with writes for
+buffer space, as the paper observes.
+"""
+
+from collections import OrderedDict
+
+from repro._units import LINES_PER_XPLINE
+
+FULL_MASK = (1 << LINES_PER_XPLINE) - 1
+
+
+class BufferEntry:
+    """State of one buffered XPLine."""
+
+    __slots__ = ("xpline", "dirty_mask", "valid", "writes")
+
+    def __init__(self, xpline, dirty_mask=0, valid=False):
+        self.xpline = xpline
+        self.dirty_mask = dirty_mask
+        self.valid = valid          # True when the full 256 B is present
+        self.writes = 0             # 64 B writes absorbed (thermal model)
+
+    @property
+    def dirty(self):
+        return self.dirty_mask != 0
+
+    @property
+    def fully_dirty(self):
+        return self.dirty_mask == FULL_MASK
+
+    def needs_rmw(self):
+        """An eviction must read the media first iff the line is partial."""
+        return self.dirty and not self.valid and not self.fully_dirty
+
+
+class XPBuffer:
+    """Set-associative write-combining buffer with FIFO replacement.
+
+    Replacement is FIFO by *allocation order* within each set (writes
+    to a resident line do not refresh its position).  This is what the
+    paper's Figure 10 probe implies: the buffer drains a line after
+    roughly 64 newer allocations regardless of activity, so re-writing
+    a region each round costs one media write per line per round (EWR
+    ~1), rather than merging rounds for ever.
+    """
+
+    def __init__(self, config):
+        self._sets = config.sets
+        self._ways = config.ways
+        self._table = [OrderedDict() for _ in range(self._sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_for(self, xpline):
+        return self._table[xpline % self._sets]
+
+    def lookup(self, xpline):
+        """Return the entry for ``xpline`` or None (no state change)."""
+        return self._set_for(xpline).get(xpline)
+
+    def write(self, xpline, subline):
+        """Merge a 64 B write into the buffer.
+
+        Returns ``(entry, hit, evicted)``: the (possibly fresh) entry
+        for ``xpline``, whether the write combined into an existing
+        entry, and a :class:`BufferEntry` the controller must now write
+        to media (either a capacity victim or — for an *overwrite* of
+        an already-dirty subline — the previous version of this very
+        line: combining is write-once per subline, so overwriting
+        flushes the old contents first).
+        """
+        table = self._set_for(xpline)
+        entry = table.get(xpline)
+        if entry is not None:
+            if not entry.dirty_mask & (1 << subline):
+                entry.dirty_mask |= 1 << subline
+                entry.writes += 1
+                self.hits += 1
+                return entry, True, None
+            # Overwrite: flush the old version, restart the entry.
+            del table[xpline]
+            fresh = BufferEntry(xpline, dirty_mask=1 << subline)
+            fresh.writes = entry.writes + 1
+            table[xpline] = fresh
+            self.misses += 1
+            return fresh, False, (entry if entry.dirty else None)
+        self.misses += 1
+        evicted = self._make_room(table)
+        entry = BufferEntry(xpline, dirty_mask=1 << subline)
+        entry.writes = 1
+        table[xpline] = entry
+        return entry, False, evicted
+
+    def read(self, xpline):
+        """Look up ``xpline`` for a read; allocate on miss.
+
+        Returns ``(hit, evicted)``.  A miss allocates a fully valid
+        entry (the controller fetches the whole XPLine from media).
+        """
+        table = self._set_for(xpline)
+        entry = table.get(xpline)
+        if entry is not None:
+            self.hits += 1
+            return True, None
+        self.misses += 1
+        evicted = self._make_room(table)
+        table[xpline] = BufferEntry(xpline, valid=True)
+        return False, evicted
+
+    def _make_room(self, table):
+        if len(table) < self._ways:
+            return None
+        _, victim = table.popitem(last=False)
+        return victim
+
+    def flush_all(self):
+        """Evict every entry (power-fail drain); returns the dirty ones."""
+        dirty = []
+        for table in self._table:
+            for entry in table.values():
+                if entry.dirty:
+                    dirty.append(entry)
+            table.clear()
+        return dirty
+
+    def occupancy(self):
+        """Number of currently buffered XPLines."""
+        return sum(len(table) for table in self._table)
+
+    def dirty_lines(self):
+        return sum(
+            1 for table in self._table for e in table.values() if e.dirty
+        )

@@ -1,0 +1,95 @@
+"""One 3D XPoint DIMM: XPController + XPBuffer + AIT + media.
+
+The controller receives 64 B DDR-T transfers from the iMC and turns
+them into 256 B media accesses:
+
+* a write that hits a buffered XPLine merges in ``ingest_ns``;
+* a write that misses allocates a buffer entry, evicting the set's LRU
+  line if needed — a fully written (or fully valid) victim costs one
+  media write, a partially written one costs a read-modify-write;
+* a read that hits the buffer returns quickly; a miss fetches the whole
+  XPLine from media (and the allocation can evict a dirty victim).
+
+Eviction back-pressure is what bounds sustained write bandwidth: the
+controller's accept time for a miss waits for the media bank *booking*
+(posted write), so once the banks backlog, accepts — and therefore the
+WPQ, and therefore the application's stores — stall.
+"""
+
+from repro._units import CACHELINE, XPLINE
+from repro.sim.counters import DimmCounters
+from repro.sim.media import XPMedia
+from repro.sim.xpbuffer import XPBuffer
+
+
+class XPDimm:
+    """A single Optane DC PMM as seen from its memory channel."""
+
+    def __init__(self, machine_config, name):
+        self.name = name
+        self._buf_cfg = machine_config.xpbuffer
+        self._ait_cfg = machine_config.ait
+        self.counters = DimmCounters()
+        self.buffer = XPBuffer(machine_config.xpbuffer)
+        self.media = XPMedia(
+            machine_config.media, machine_config.ait, self.counters,
+            name=name + ".media")
+
+    @property
+    def thermal_stalls(self):
+        return self.media.ait.thermal_stalls
+
+    # -- controller entry points -------------------------------------------
+
+    def ingest_write(self, now, dev_addr):
+        """Accept one 64 B write from the WPQ; returns the accept time."""
+        self.counters.imc_write_bytes += CACHELINE
+        xpline = dev_addr // XPLINE
+        subline = (dev_addr % XPLINE) // CACHELINE
+        entry, hit, evicted = self.buffer.write(xpline, subline)
+        accept = now + self._buf_cfg.ingest_ns
+        if not hit and evicted is not None and evicted.dirty:
+            bank_start = self._evict(now, evicted)
+            if bank_start + self._buf_cfg.ingest_ns > accept:
+                accept = bank_start + self._buf_cfg.ingest_ns
+        return accept
+
+    def read(self, now, dev_addr):
+        """Serve one 64 B read; returns the data-ready time."""
+        self.counters.imc_read_bytes += CACHELINE
+        xpline = dev_addr // XPLINE
+        hit, evicted = self.buffer.read(xpline)
+        if hit:
+            return now + self._buf_cfg.read_hit_ns + \
+                self.media._cfg.read_extra_ns
+        if evicted is not None and evicted.dirty:
+            # Reads compete for buffer space: allocating the fill can
+            # push a dirty write out to media.
+            self._evict(now, evicted)
+        _, data_ready = self.media.read_line(now, xpline)
+        return data_ready
+
+    def _evict(self, now, entry):
+        """Write a victim line back to media; returns the bank start time."""
+        if entry.needs_rmw():
+            end = self.media.rmw_line(now, entry.xpline)
+            occ = (self.media._cfg.read_occupancy_ns
+                   + self.media._cfg.write_occupancy_ns)
+        else:
+            end = self.media.write_line(now, entry.xpline)
+            occ = self.media._cfg.write_occupancy_ns
+        return end - occ
+
+    # -- management ----------------------------------------------------------
+
+    def drain(self, now):
+        """Flush every dirty buffered line to media (namespace teardown)."""
+        t = now
+        for entry in self.buffer.flush_all():
+            t = self._evict(t, entry)
+        return t
+
+    def reset(self):
+        self.counters.reset()
+        self.media.reset()
+        self.buffer = XPBuffer(self._buf_cfg)

@@ -1,0 +1,149 @@
+"""Tests for the guidelines advisor, planner and experiment registry."""
+
+import pytest
+
+from repro.core import (
+    AccessPlan, AccessPlanner, Advisor, all_experiments,
+    audit_access_pattern, batched_log_append, get,
+)
+from repro.sim import Machine
+
+
+class TestAdvisor:
+    def setup_method(self):
+        self.adv = Advisor()
+
+    def test_instruction_choice(self):
+        assert self.adv.recommend_store_instruction(64) == "clwb"
+        assert self.adv.recommend_store_instruction(256) == "clwb"
+        assert self.adv.recommend_store_instruction(4096) == "ntstore"
+
+    def test_access_size_rounds_to_xpline(self):
+        assert self.adv.recommend_access_size(64) == 256
+        assert self.adv.recommend_access_size(300) == 300
+
+    def test_thread_budgets(self):
+        assert self.adv.max_concurrent_writers(6) == 6
+        assert self.adv.max_concurrent_writers(1) == 1
+        assert self.adv.max_concurrent_readers(6) == 24
+
+    def test_numa_recommendation(self):
+        assert self.adv.should_use_local_socket()
+        assert not self.adv.should_use_local_socket(mixed=True)
+        assert not self.adv.should_use_local_socket(threads=4)
+
+
+class TestAudit:
+    def test_clean_plan_passes(self):
+        plan = AccessPlan(access_bytes=4096, pattern="seq",
+                          is_write=True, threads=4)
+        assert audit_access_pattern(plan) == []
+
+    def test_small_random_writes_flagged(self):
+        plan = AccessPlan(access_bytes=64, pattern="rand", is_write=True)
+        violations = audit_access_pattern(plan)
+        assert any(v.guideline == 1 for v in violations)
+
+    def test_working_set_escalates_severity(self):
+        big = AccessPlan(access_bytes=64, pattern="rand", is_write=True,
+                         working_set_bytes=1 << 30)
+        v = [x for x in audit_access_pattern(big) if x.guideline == 1][0]
+        assert v.severity == "high"
+
+    def test_missing_flushes_flagged(self):
+        plan = AccessPlan(access_bytes=4096, is_write=True,
+                          flushes_promptly=False)
+        assert any(v.guideline == 2 for v in audit_access_pattern(plan))
+
+    def test_thread_oversubscription_flagged(self):
+        plan = AccessPlan(access_bytes=4096, threads=24, dimms=6)
+        assert any(v.guideline == 3 for v in audit_access_pattern(plan))
+
+    def test_remote_mixed_flagged_high(self):
+        plan = AccessPlan(access_bytes=4096, remote=True,
+                          mixed_read_write=True)
+        v = [x for x in audit_access_pattern(plan) if x.guideline == 4][0]
+        assert v.severity == "high"
+
+    def test_remote_single_thread_is_low(self):
+        plan = AccessPlan(access_bytes=4096, remote=True, threads=1)
+        v = [x for x in audit_access_pattern(plan) if x.guideline == 4][0]
+        assert v.severity == "low"
+
+    def test_violation_str(self):
+        plan = AccessPlan(access_bytes=64, pattern="rand", is_write=True)
+        text = str(audit_access_pattern(plan)[0])
+        assert "G1" in text
+
+
+class TestPlanner:
+    def test_plan_write_picks_instruction(self):
+        p = AccessPlanner()
+        assert p.plan_write(0, 64).instr == "clwb"
+        assert p.plan_write(0, 2048).instr == "ntstore"
+
+    def test_padding(self):
+        p = AccessPlanner(pad_to_xpline=True)
+        plan = p.plan_write(0, 100)
+        assert plan.padded_size == 256
+        assert plan.padding_overhead == 156
+
+    def test_execute_persists(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        p = AccessPlanner()
+        plan = p.plan_write(0, 5)
+        p.execute(ns, t, plan, b"hello")
+        m.power_fail()
+        assert ns.read_persistent(0, 5) == b"hello"
+
+    def test_execute_checks_length(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        p = AccessPlanner()
+        with pytest.raises(ValueError):
+            p.execute(ns, t, p.plan_write(0, 5), b"wrong-length")
+
+    def test_partitions_are_dimm_staggered(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        p = AccessPlanner()
+        parts = p.partition_for_threads(ns, 6, span=1 << 20)
+        firsts = {ns._mapping.locate(base)[0] for base, _ in parts}
+        assert firsts == set(range(6))
+
+    def test_batched_log_append(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        p = AccessPlanner(pad_to_xpline=True)
+        tail = batched_log_append(p, ns, t, 0, [b"abc", b"d" * 300])
+        assert tail == 256 + 512
+        m.power_fail()
+        assert ns.read_persistent(0, 3) == b"abc"
+        assert ns.read_persistent(256, 300) == b"d" * 300
+
+
+class TestRegistry:
+    def test_all_17_figures_registered(self):
+        exps = all_experiments()
+        assert len(exps) == 17
+        assert [e.figure for e in exps][0] == "fig2"
+
+    def test_lookup(self):
+        assert get("fig10").section == "5.1"
+        with pytest.raises(KeyError):
+            get("fig11")          # mechanism diagram: not an experiment
+
+    def test_every_runner_resolves(self):
+        import importlib
+        for exp in all_experiments():
+            module_name, _, func = exp.runner.partition(":")
+            module = importlib.import_module(module_name)
+            assert hasattr(module, func), exp.runner
+
+    def test_run_dispatches(self):
+        out = get("fig10").run(region_sizes=(16, 80), rounds=1)
+        assert len(out) == 2

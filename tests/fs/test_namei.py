@@ -1,0 +1,155 @@
+"""Tests for directories and path lookup (repro.fs.namei)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs import NovaFS
+from repro.fs.namei import Directory, NameSpaceFS
+from repro.sim import Machine
+
+
+def fresh():
+    m = Machine()
+    t = m.thread()
+    fs = NovaFS(m, datalog=True)
+    return m, t, fs
+
+
+class TestDirectory:
+    def test_add_lookup(self):
+        m, t, fs = fresh()
+        d = Directory.create(fs, t)
+        d.add(t, b"readme.md", 7)
+        assert d.lookup(b"readme.md") == 7
+        assert d.lookup(b"missing") is None
+
+    def test_remove(self):
+        m, t, fs = fresh()
+        d = Directory.create(fs, t)
+        d.add(t, b"a", 1)
+        assert d.remove(t, b"a") == 1
+        assert b"a" not in d
+
+    def test_names_sorted(self):
+        m, t, fs = fresh()
+        d = Directory.create(fs, t)
+        for name in (b"zeta", b"alpha", b"mid"):
+            d.add(t, name, 1)
+        assert d.names() == [b"alpha", b"mid", b"zeta"]
+
+    def test_invalid_names_rejected(self):
+        m, t, fs = fresh()
+        d = Directory.create(fs, t)
+        with pytest.raises(ValueError):
+            d.add(t, b"", 1)
+        with pytest.raises(ValueError):
+            d.add(t, b"a/b", 1)
+
+    def test_reload_after_crash(self):
+        m, t, fs = fresh()
+        d = Directory.create(fs, t)
+        d.add(t, b"one", 11)
+        d.add(t, b"two", 22)
+        d.remove(t, b"one")
+        d.add(t, b"three", 33)
+        m.power_fail()
+        fs2 = NovaFS.mount(m, datalog=True)
+        d2 = Directory.load(fs2, d.inode)
+        assert d2.lookup(b"two") == 22
+        assert d2.lookup(b"three") == 33
+        assert d2.lookup(b"one") is None
+        assert len(d2) == 2
+
+    @given(st.lists(st.tuples(st.sampled_from([b"a", b"b", b"c", b"d"]),
+                              st.booleans()), min_size=1, max_size=25))
+    @settings(max_examples=15, deadline=None)
+    def test_matches_dict_model(self, ops):
+        m, t, fs = fresh()
+        d = Directory.create(fs, t)
+        model = {}
+        counter = 100
+        for name, is_add in ops:
+            if is_add:
+                counter += 1
+                d.add(t, name, counter)
+                model[name] = counter
+            elif name in model:
+                d.remove(t, name)
+                del model[name]
+        m.power_fail()
+        fs2 = NovaFS.mount(m, datalog=True)
+        d2 = Directory.load(fs2, d.inode)
+        assert {n: d2.lookup(n) for n in d2.names()} == model
+
+
+class TestNameSpaceFS:
+    def test_create_write_read_by_name(self):
+        m, t, fs = fresh()
+        nsfs = NameSpaceFS.format(fs, t)
+        nsfs.create(t, b"hello.txt")
+        nsfs.write(t, b"hello.txt", 0, b"content")
+        assert nsfs.read(t, b"hello.txt", 0, 7) == b"content"
+
+    def test_duplicate_create_rejected(self):
+        m, t, fs = fresh()
+        nsfs = NameSpaceFS.format(fs, t)
+        nsfs.create(t, b"x")
+        with pytest.raises(FileExistsError):
+            nsfs.create(t, b"x")
+
+    def test_open_missing(self):
+        m, t, fs = fresh()
+        nsfs = NameSpaceFS.format(fs, t)
+        with pytest.raises(FileNotFoundError):
+            nsfs.open(t, b"ghost")
+
+    def test_unlink_by_name(self):
+        m, t, fs = fresh()
+        nsfs = NameSpaceFS.format(fs, t)
+        nsfs.create(t, b"temp")
+        nsfs.write(t, b"temp", 0, b"junk")
+        nsfs.unlink(t, b"temp")
+        assert nsfs.listdir() == []
+        with pytest.raises(FileNotFoundError):
+            nsfs.read(t, b"temp", 0, 4)
+
+    def test_rename(self):
+        m, t, fs = fresh()
+        nsfs = NameSpaceFS.format(fs, t)
+        nsfs.create(t, b"old")
+        nsfs.write(t, b"old", 0, b"data")
+        nsfs.rename(t, b"old", b"new")
+        assert nsfs.listdir() == [b"new"]
+        assert nsfs.read(t, b"new", 0, 4) == b"data"
+
+    def test_mount_recovers_whole_namespace(self):
+        m, t, fs = fresh()
+        nsfs = NameSpaceFS.format(fs, t)
+        for i in range(5):
+            name = b"file-%d" % i
+            nsfs.create(t, name)
+            nsfs.write(t, name, 0, b"payload-%d" % i)
+        nsfs.unlink(t, b"file-2")
+        m.power_fail()
+        fs2 = NovaFS.mount(m, datalog=True)
+        nsfs2 = NameSpaceFS.mount(fs2)
+        assert nsfs2.listdir() == [b"file-0", b"file-1", b"file-3",
+                                   b"file-4"]
+        t2 = m.thread()
+        assert nsfs2.read(t2, b"file-3", 0, 9) == b"payload-3"
+
+    def test_rename_crash_keeps_a_name(self):
+        m, t, fs = fresh()
+        nsfs = NameSpaceFS.format(fs, t)
+        nsfs.create(t, b"src")
+        nsfs.write(t, b"src", 0, b"precious")
+        nsfs.rename(t, b"src", b"dst")
+        m.power_fail()
+        fs2 = NovaFS.mount(m, datalog=True)
+        nsfs2 = NameSpaceFS.mount(fs2)
+        names = nsfs2.listdir()
+        assert b"dst" in names or b"src" in names
+        t2 = m.thread()
+        survivor = b"dst" if b"dst" in names else b"src"
+        assert nsfs2.read(t2, survivor, 0, 8) == b"precious"

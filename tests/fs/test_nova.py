@@ -1,0 +1,363 @@
+"""Unit, integration and crash tests for the NOVA file system."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs import DAXFileSystem, NovaFS, PAGE
+from repro.fs.layout import (
+    AllocationPolicy, PageAllocator, make_gaddr, split_gaddr,
+)
+from repro.fs.log import (
+    decode_entry, encode_embed_entry, encode_write_entry,
+)
+from repro.sim import Machine
+
+
+class TestLayout:
+    def test_gaddr_roundtrip(self):
+        g = make_gaddr(3, 0x1234)
+        assert split_gaddr(g) == (3, 0x1234)
+
+    def test_allocator_hands_out_distinct_pages(self):
+        a = PageAllocator(0, 100)
+        pages = {a.alloc() for _ in range(50)}
+        assert len(pages) == 50
+
+    def test_allocator_reuses_freed_pages(self):
+        a = PageAllocator(0, 100)
+        g = a.alloc()
+        a.free(g)
+        assert a.alloc() == g
+
+    def test_allocator_exhaustion(self):
+        a = PageAllocator(0, 18)
+        for _ in range(2):
+            a.alloc()
+        with pytest.raises(RuntimeError):
+            a.alloc()
+
+    def test_pinned_policy_keys_on_thread(self):
+        m = Machine()
+        allocs = [PageAllocator(i, 64) for i in range(6)]
+        policy = AllocationPolicy(allocs, pinned=True)
+        t0, t6 = m.thread(), None
+        for _ in range(5):
+            t6 = m.thread()
+        g0 = policy.alloc_for(t0)
+        g6 = policy.alloc_for(t6)
+        assert split_gaddr(g0)[0] == t0.tid % 6
+        assert split_gaddr(g6)[0] == t6.tid % 6
+
+
+class TestLogEntries:
+    def test_write_entry_roundtrip(self):
+        blob = encode_write_entry(5, make_gaddr(1, PAGE), 12345)
+        entry, nxt = decode_entry(blob, 0)
+        assert entry["type"] == 1
+        assert entry["pgoff"] == 5
+        assert entry["file_size"] == 12345
+        assert nxt == 64
+
+    def test_embed_entry_roundtrip(self):
+        blob = encode_embed_entry(2, 100, b"hello world", 4196)
+        entry, nxt = decode_entry(blob, 0)
+        assert entry["type"] == 2
+        assert entry["in_off"] == 100
+        assert entry["data"] == b"hello world"
+        assert nxt == 64 + 64
+
+    def test_torn_entry_rejected(self):
+        blob = bytearray(encode_write_entry(5, 64, 100))
+        blob[8] ^= 0x1
+        assert decode_entry(bytes(blob), 0) is None
+
+    def test_oversized_embed_rejected(self):
+        with pytest.raises(ValueError):
+            encode_embed_entry(0, 0, b"x" * PAGE, PAGE)
+
+
+class TestNovaFunctional:
+    def setup_method(self):
+        self.m = Machine()
+        self.t = self.m.thread()
+
+    def test_write_read_roundtrip(self):
+        fs = NovaFS(self.m)
+        inode = fs.create(self.t)
+        fs.write(self.t, inode, 0, b"hello persistent world")
+        assert fs.read(self.t, inode, 0, 22) == b"hello persistent world"
+
+    def test_sparse_read_is_zero(self):
+        fs = NovaFS(self.m)
+        inode = fs.create(self.t)
+        fs.write(self.t, inode, 2 * PAGE, b"far")
+        assert fs.read(self.t, inode, 0, 4) == b"\x00" * 4
+
+    def test_overwrite_within_page(self):
+        fs = NovaFS(self.m)
+        inode = fs.create(self.t)
+        fs.write(self.t, inode, 0, b"A" * PAGE)
+        fs.write(self.t, inode, 10, b"BBB")
+        got = fs.read(self.t, inode, 8, 8)
+        assert got == b"AABBBAAA"
+
+    def test_datalog_overwrite(self):
+        fs = NovaFS(self.m, datalog=True)
+        inode = fs.create(self.t)
+        fs.write(self.t, inode, 0, b"A" * PAGE)
+        fs.write(self.t, inode, 100, b"XYZ")
+        assert fs.read(self.t, inode, 99, 5) == b"AXYZA"
+
+    def test_datalog_many_overlapping_embeds(self):
+        fs = NovaFS(self.m, datalog=True)
+        inode = fs.create(self.t)
+        fs.write(self.t, inode, 0, b"A" * PAGE)
+        for i in range(10):
+            fs.write(self.t, inode, 50 + i, bytes([0x30 + i]))
+        assert fs.read(self.t, inode, 50, 10) == b"0123456789"
+
+    def test_size_tracking(self):
+        fs = NovaFS(self.m)
+        inode = fs.create(self.t)
+        fs.write(self.t, inode, 100, b"abc")
+        assert fs.stat_size(inode) == 103
+
+    def test_multiple_files_isolated(self):
+        fs = NovaFS(self.m)
+        a = fs.create(self.t)
+        b = fs.create(self.t)
+        fs.write(self.t, a, 0, b"AAAA")
+        fs.write(self.t, b, 0, b"BBBB")
+        assert fs.read(self.t, a, 0, 4) == b"AAAA"
+        assert fs.read(self.t, b, 0, 4) == b"BBBB"
+
+    @given(st.lists(st.tuples(st.integers(0, 3 * PAGE),
+                              st.binary(min_size=1, max_size=300)),
+                    min_size=1, max_size=12),
+           st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_matches_shadow_file(self, writes, datalog):
+        m = Machine()
+        t = m.thread()
+        fs = NovaFS(m, datalog=datalog)
+        inode = fs.create(t)
+        shadow = bytearray(4 * PAGE)
+        size = 0
+        for offset, data in writes:
+            fs.write(t, inode, offset, data)
+            shadow[offset:offset + len(data)] = data
+            size = max(size, offset + len(data))
+        assert fs.read(t, inode, 0, size) == bytes(shadow[:size])
+
+
+class TestNovaCrash:
+    def test_synced_writes_survive(self):
+        m = Machine()
+        t = m.thread()
+        fs = NovaFS(m, datalog=True)
+        inode = fs.create(t)
+        fs.write(t, inode, 0, b"Z" * PAGE)
+        fs.write(t, inode, 77, b"embedded")
+        m.power_fail()
+        fs2 = NovaFS.mount(m, datalog=True)
+        assert fs2.read_persistent_file(inode, 77, 8) == b"embedded"
+        assert fs2.stat_size(inode) == PAGE
+
+    def test_crash_preserves_old_or_new_never_torn(self):
+        m = Machine()
+        t = m.thread()
+        fs = NovaFS(m)
+        inode = fs.create(t)
+        fs.write(t, inode, 0, b"1" * PAGE)
+        fs.write(t, inode, 0, b"2" * PAGE)     # atomic COW replace
+        m.power_fail()
+        fs2 = NovaFS.mount(m)
+        content = fs2.read_persistent_file(inode, 0, PAGE)
+        assert content in (b"1" * PAGE, b"2" * PAGE)
+
+    def test_mount_recovers_many_files(self):
+        m = Machine()
+        t = m.thread()
+        fs = NovaFS(m, datalog=True)
+        inodes = []
+        for i in range(8):
+            inode = fs.create(t)
+            fs.write(t, inode, 0, bytes([0x41 + i]) * 128)
+            inodes.append(inode)
+        m.power_fail()
+        fs2 = NovaFS.mount(m, datalog=True)
+        for i, inode in enumerate(inodes):
+            assert fs2.read_persistent_file(inode, 0, 128) == \
+                bytes([0x41 + i]) * 128
+
+
+class TestCleaner:
+    def test_clean_compacts_log(self):
+        m = Machine()
+        t = m.thread()
+        fs = NovaFS(m, datalog=True)
+        inode = fs.create(t)
+        fs.write(t, inode, 0, b"A" * PAGE)
+        for i in range(100):
+            fs.write(t, inode, (i * 7) % PAGE, b"x")
+        before = fs._files[inode].log.length
+        fs.clean(t, inode)
+        after = fs._files[inode].log.length
+        assert after < before
+
+    def test_clean_preserves_contents(self):
+        m = Machine()
+        t = m.thread()
+        fs = NovaFS(m, datalog=True)
+        inode = fs.create(t)
+        fs.write(t, inode, 0, b"A" * PAGE)
+        fs.write(t, inode, 10, b"BC")
+        fs.clean(t, inode)
+        assert fs.read(t, inode, 9, 4) == b"ABCA"
+        m.power_fail()
+        fs2 = NovaFS.mount(m, datalog=True)
+        assert fs2.read_persistent_file(inode, 9, 4) == b"ABCA"
+
+    def test_cleaner_reclaims_log_pages(self):
+        m = Machine()
+        t = m.thread()
+        fs = NovaFS(m, datalog=True)
+        inode = fs.create(t)
+        fs.write(t, inode, 0, b"A" * PAGE)
+        for i in range(300):
+            fs.write(t, inode, (i * 13) % PAGE, b"y")
+        free_before = fs.policy.allocators[0].free_pages
+        fs.clean(t, inode)
+        assert fs.policy.allocators[0].free_pages >= free_before
+
+
+class TestDAX:
+    def test_in_place_write_read(self):
+        m = Machine()
+        t = m.thread()
+        fs = DAXFileSystem(m, flavor="ext4")
+        inode = fs.create(t, npages=4)
+        fs.write(t, inode, 100, b"data", sync=True)
+        assert fs.read(t, inode, 100, 4) == b"data"
+
+    def test_unsynced_write_can_be_lost(self):
+        m = Machine()
+        t = m.thread()
+        fs = DAXFileSystem(m, flavor="xfs")
+        inode = fs.create(t, npages=4)
+        fs.write(t, inode, 0, b"gone", sync=False)
+        base, _, _ = fs._files[inode]
+        m.power_fail()
+        assert fs.ns.read_persistent(base, 4) == b"\x00" * 4
+
+    def test_sync_is_slower_than_nosync(self):
+        m = Machine()
+        t = m.thread()
+        fs = DAXFileSystem(m, flavor="ext4")
+        inode = fs.create(t, npages=4)
+        t0 = t.now
+        fs.write(t, inode, 0, b"x" * 64, sync=False)
+        unsynced = t.now - t0
+        t0 = t.now
+        fs.write(t, inode, 64, b"x" * 64, sync=True)
+        synced = t.now - t0
+        assert synced > 3 * unsynced
+
+    def test_bad_flavor(self):
+        with pytest.raises(ValueError):
+            DAXFileSystem(Machine(), flavor="btrfs")
+
+
+class TestRecoveryResumesCleanly:
+    """Regression: a mounted file system must not reallocate live pages."""
+
+    def test_writes_after_mount_do_not_corrupt(self):
+        m = Machine()
+        t = m.thread()
+        fs = NovaFS(m, datalog=True)
+        inode = fs.create(t)
+        fs.write(t, inode, 0, b"A" * PAGE)
+        for i in range(50):
+            fs.write(t, inode, i * 8, b"x")
+        m.power_fail()
+        fs2 = NovaFS.mount(m, datalog=True)
+        t2 = m.thread()
+        other = fs2.create(t2)             # allocates fresh pages
+        fs2.write(t2, other, 0, b"B" * PAGE)
+        # The original file is untouched by the new allocations.
+        assert fs2.read(t2, inode, 400, 4) == b"AAAA"
+        assert fs2.read(t2, other, 0, 4) == b"BBBB"
+
+    def test_clean_after_mount(self):
+        m = Machine()
+        t = m.thread()
+        fs = NovaFS(m, datalog=True)
+        inode = fs.create(t)
+        fs.write(t, inode, 0, b"C" * PAGE)
+        for i in range(80):
+            fs.write(t, inode, (i * 11) % PAGE, b"z")
+        m.power_fail()
+        fs2 = NovaFS.mount(m, datalog=True)
+        t2 = m.thread()
+        fs2.clean(t2, inode)
+        m.power_fail()
+        fs3 = NovaFS.mount(m, datalog=True)
+        data = fs3.read_persistent_file(inode, 0, PAGE)
+        shadow = bytearray(b"C" * PAGE)
+        for i in range(80):
+            shadow[(i * 11) % PAGE] = ord("z")
+        assert data == bytes(shadow)
+
+    def test_appends_resume_at_recovered_tail(self):
+        m = Machine()
+        t = m.thread()
+        fs = NovaFS(m, datalog=True)
+        inode = fs.create(t)
+        fs.write(t, inode, 0, b"D" * PAGE)
+        fs.write(t, inode, 5, b"early")
+        m.power_fail()
+        fs2 = NovaFS.mount(m, datalog=True)
+        t2 = m.thread()
+        fs2.write(t2, inode, 50, b"late")   # must not clobber old entries
+        m.power_fail()
+        fs3 = NovaFS.mount(m, datalog=True)
+        assert fs3.read_persistent_file(inode, 5, 5) == b"early"
+        assert fs3.read_persistent_file(inode, 50, 4) == b"late"
+
+
+class TestMmap:
+    def test_mmap_merges_embedded_writes_first(self):
+        m = Machine()
+        t = m.thread()
+        fs = NovaFS(m, datalog=True)
+        inode = fs.create(t)
+        fs.write(t, inode, 0, b"M" * PAGE)
+        fs.write(t, inode, 100, b"patched")     # embedded in the log
+        gaddr = fs.mmap(t, inode)
+        assert not fs._files[inode].overlays    # merged before mapping
+        from repro.fs.layout import split_gaddr
+        dev, off = split_gaddr(gaddr)
+        raw = fs.devices[dev].read_volatile(off, PAGE)
+        assert raw[100:107] == b"patched"
+
+    def test_mmap_direct_store_is_visible(self):
+        m = Machine()
+        t = m.thread()
+        fs = NovaFS(m)
+        inode = fs.create(t)
+        fs.write(t, inode, 0, b"x" * PAGE)
+        gaddr = fs.mmap(t, inode)
+        from repro.fs.layout import split_gaddr
+        dev, off = split_gaddr(gaddr)
+        ns = fs.devices[dev]
+        ns.pwrite(t, off + 10, b"DIRECT", instr="ntstore")
+        assert fs.read(t, inode, 10, 6) == b"DIRECT"
+
+    def test_mmap_sparse_page_allocates(self):
+        m = Machine()
+        t = m.thread()
+        fs = NovaFS(m)
+        inode = fs.create(t)
+        gaddr = fs.mmap(t, inode, pgoff=2)
+        assert gaddr

@@ -1,0 +1,271 @@
+"""Integration and crash tests for the LSM store."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore import LSMStore, PersistentSkipList, SSTable
+from repro.kvstore.wal import WalFlex, WalPosix
+from repro.sim import Machine
+
+MODES = ("wal-posix", "wal-flex", "persistent-memtable")
+
+
+def kv(i):
+    return b"%019d" % i, b"v%010d" % i
+
+
+class TestWAL:
+    @pytest.mark.parametrize("wal_cls", [WalPosix, WalFlex])
+    def test_append_replay(self, wal_cls):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        wal = wal_cls(ns, 0, 1 << 20)
+        for i in range(50):
+            wal.append(t, *kv(i))
+        m.power_fail()
+        replayed = wal_cls(ns, 0, 1 << 20).replay()
+        assert replayed == [kv(i) for i in range(50)]
+
+    def test_unsynced_posix_tail_may_be_lost(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        wal = WalPosix(ns, 0, 1 << 20)
+        wal.append(t, *kv(0), sync=True)
+        wal.append(t, *kv(1), sync=False)   # cached, never flushed
+        m.power_fail()
+        replayed = WalPosix(ns, 0, 1 << 20).replay()
+        assert replayed[0] == kv(0)
+        assert len(replayed) <= 2
+
+    def test_flex_appends_are_line_aligned(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        wal = WalFlex(ns, 0, 1 << 20)
+        wal.append(t, *kv(0))
+        assert wal.tail % 64 == 0
+
+    def test_wal_full(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        wal = WalFlex(ns, 0, 256)
+        wal.append(t, *kv(0))
+        with pytest.raises(RuntimeError):
+            for i in range(10):
+                wal.append(t, *kv(i))
+
+
+class TestSSTable:
+    def _pairs(self, n=64):
+        return [kv(i) for i in range(n)]
+
+    def test_build_and_get(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        table = SSTable.build(ns, t, 1 << 20, self._pairs())
+        assert table.get(t, kv(10)[0]) == kv(10)[1]
+        assert table.get(t, b"absent-key-000000000") is None
+
+    def test_open_after_crash(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        table = SSTable.build(ns, t, 1 << 20, self._pairs())
+        m.power_fail()
+        reopened = SSTable.open(ns, 1 << 20, table.size)
+        assert reopened.get(t, kv(33)[0]) == kv(33)[1]
+
+    def test_items_in_order(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        table = SSTable.build(ns, t, 1 << 20, self._pairs(20))
+        assert table.items() == self._pairs(20)
+
+    def test_bloom_short_circuits(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        table = SSTable.build(ns, t, 1 << 20, self._pairs(16))
+        assert not table.may_contain(b"zzzzzzzzzzzzzzzzzzzz")
+
+
+class TestPersistentSkipList:
+    def test_put_get(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        psl = PersistentSkipList(ns, 0, 1 << 20)
+        psl.put(t, b"alpha", b"1")
+        psl.put(t, b"beta", b"2")
+        assert psl.get(t, b"alpha") == b"1"
+        assert psl.get(t, b"missing") is None
+
+    def test_recover_after_crash(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        psl = PersistentSkipList(ns, 0, 1 << 20)
+        pairs = {b"k%04d" % i: b"v%04d" % i for i in range(150)}
+        for k, v in pairs.items():
+            psl.put(t, k, v)
+        m.power_fail()
+        rec = PersistentSkipList.recover(ns, 0, 1 << 20)
+        assert len(rec) == len(pairs)
+        assert dict(rec.items()) == pairs
+
+    def test_recovered_order(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        psl = PersistentSkipList(ns, 0, 1 << 20)
+        for k in (b"m", b"c", b"x", b"a"):
+            psl.put(t, k, k)
+        m.power_fail()
+        rec = PersistentSkipList.recover(ns, 0, 1 << 20)
+        assert [k for k, _ in rec.items()] == [b"a", b"c", b"m", b"x"]
+
+    def test_same_size_update_in_place(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        psl = PersistentSkipList(ns, 0, 1 << 20)
+        psl.put(t, b"k", b"old!")
+        psl.put(t, b"k", b"new!")
+        m.power_fail()
+        rec = PersistentSkipList.recover(ns, 0, 1 << 20)
+        assert dict(rec.items())[b"k"] == b"new!"
+
+    def test_resize_update(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        psl = PersistentSkipList(ns, 0, 1 << 20)
+        psl.put(t, b"k", b"short")
+        psl.put(t, b"k", b"a-much-longer-value")
+        assert psl.get(t, b"k") == b"a-much-longer-value"
+        assert len(psl) == 1
+
+
+class TestLSMStore:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_put_get_roundtrip(self, mode):
+        m = Machine()
+        db = LSMStore(m, mode=mode)
+        t = m.thread()
+        for i in range(500):
+            db.put(t, *kv(i))
+        for i in (0, 123, 499):
+            assert db.get(t, kv(i)[0]) == kv(i)[1]
+        assert db.get(t, b"nope-nope-nope-nope!") is None
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_crash_recovery_full(self, mode):
+        m = Machine()
+        db = LSMStore(m, mode=mode)
+        t = m.thread()
+        n = 2500                     # enough to force flushes
+        for i in range(n):
+            db.put(t, *kv(i))
+        m.power_fail()
+        db2 = LSMStore.recover(m, mode=mode)
+        misses = [i for i in range(n)
+                  if db2.get(t, kv(i)[0]) != kv(i)[1]]
+        assert not misses
+
+    def test_flush_creates_tables(self):
+        m = Machine()
+        db = LSMStore(m, mode="wal-flex", memtable_bytes=4096)
+        t = m.thread()
+        for i in range(400):
+            db.put(t, *kv(i))
+        assert db.tables
+
+    def test_compaction_bounds_table_count(self):
+        m = Machine()
+        db = LSMStore(m, mode="wal-flex", memtable_bytes=2048)
+        t = m.thread()
+        for i in range(1200):
+            db.put(t, *kv(i))
+        l0 = sum(1 for lvl, _ in db.tables if lvl == 0)
+        assert l0 < 8
+
+    def test_overwrites_newest_wins_across_flushes(self):
+        m = Machine()
+        db = LSMStore(m, mode="wal-flex", memtable_bytes=4096)
+        t = m.thread()
+        for rnd in range(3):
+            for i in range(120):
+                db.put(t, kv(i)[0], b"r%d-%010d" % (rnd, i))
+            db.flush(t)
+        assert db.get(t, kv(7)[0]) == b"r2-%010d" % 7
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            LSMStore(Machine(), mode="chaos")
+
+    @given(st.lists(st.tuples(st.integers(0, 40),
+                              st.binary(min_size=1, max_size=30)),
+                    min_size=1, max_size=60))
+    @settings(max_examples=15, deadline=None)
+    def test_model_based_random_ops(self, ops):
+        m = Machine()
+        db = LSMStore(m, mode="wal-flex", memtable_bytes=2048)
+        t = m.thread()
+        model = {}
+        for idx, value in ops:
+            key = b"%019d" % idx
+            db.put(t, key, value)
+            model[key] = value
+        for key, value in model.items():
+            assert db.get(t, key) == value
+
+    def test_crash_mid_stream_loses_nothing_synced(self):
+        m = Machine()
+        db = LSMStore(m, mode="wal-flex")
+        t = m.thread()
+        rng = random.Random(0)
+        written = {}
+        for i in range(300):
+            k, v = kv(rng.randrange(100))
+            db.put(t, k, v, sync=True)
+            written[k] = v
+        m.power_fail()
+        db2 = LSMStore.recover(m, mode="wal-flex")
+        for k, v in written.items():
+            assert db2.get(t, k) == v
+
+
+class TestDbBenchWorkloads:
+    def test_readrandom_finds_everything(self):
+        from repro.kvstore import get_benchmark
+        r = get_benchmark("wal-flex", ops=300, populate=300)
+        assert r.kops_per_sec > 0
+
+    def test_mixed_workload_runs(self):
+        from repro.kvstore import mixed_benchmark
+        r = mixed_benchmark("wal-flex", ops=300, populate=150)
+        assert r.kops_per_sec > 0
+
+    def test_reads_faster_than_synced_writes(self):
+        from repro.kvstore import get_benchmark, set_benchmark
+        reads = get_benchmark("wal-flex", ops=400, populate=400)
+        writes = set_benchmark("wal-flex", ops=400)
+        assert reads.kops_per_sec > writes.kops_per_sec
+
+    def test_mixed_between_pure_read_and_write(self):
+        from repro.kvstore import (
+            get_benchmark, mixed_benchmark, set_benchmark,
+        )
+        reads = get_benchmark("wal-flex", ops=400, populate=400)
+        mixed = mixed_benchmark("wal-flex", ops=400, populate=400)
+        writes = set_benchmark("wal-flex", ops=400)
+        assert writes.kops_per_sec < mixed.kops_per_sec < \
+            reads.kops_per_sec

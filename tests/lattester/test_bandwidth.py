@@ -1,0 +1,158 @@
+"""Calibration tests: bandwidth and EWR (Figures 4, 5, 9, 10, 16)."""
+
+import pytest
+
+from repro._units import KIB
+from repro.lattester.bandwidth import measure_bandwidth
+from repro.lattester.contention import contention_experiment
+from repro.lattester.ewr import correlation, ewr_experiment
+from repro.lattester.xpbuffer_probe import (
+    figure10, inferred_buffer_lines, probe_region,
+)
+
+PER_THREAD = 96 * KIB
+
+
+def bw(kind, op, threads, **kw):
+    kw.setdefault("per_thread", PER_THREAD)
+    return measure_bandwidth(kind=kind, op=op, threads=threads, **kw)
+
+
+class TestFigure4:
+    """Bandwidth vs thread count: peaks, asymmetry, non-monotonicity."""
+
+    def test_single_dimm_read_peak(self):
+        r = bw("optane-ni", "read", 4)
+        assert 5.8 <= r.gbps <= 7.3          # paper: 6.6 GB/s
+
+    def test_single_dimm_write_peak(self):
+        r = bw("optane-ni", "ntstore", 1)
+        assert 2.0 <= r.gbps <= 2.7          # paper: 2.3 GB/s
+
+    def test_read_write_asymmetry_is_about_3x(self):
+        read = bw("optane-ni", "read", 4).gbps
+        write = bw("optane-ni", "ntstore", 1).gbps
+        assert 2.3 <= read / write <= 3.6    # paper: 2.9x
+
+    def test_write_scaling_is_non_monotonic(self):
+        one = bw("optane-ni", "ntstore", 1).gbps
+        eight = bw("optane-ni", "ntstore", 8).gbps
+        assert eight < 0.7 * one             # paper: drops past ~1 thread
+
+    def test_ewr_collapse_under_8_writers(self):
+        r = bw("optane-ni", "ntstore", 8)
+        assert 0.5 <= r.ewr <= 0.75          # paper: 0.62
+
+    def test_interleaving_scales_reads_about_6x(self):
+        ni = bw("optane-ni", "read", 4).gbps
+        il = bw("optane", "read", 24).gbps
+        assert 5.0 <= il / ni <= 6.5         # paper: 5.8x
+
+    def test_interleaving_scales_writes(self):
+        ni = bw("optane-ni", "ntstore", 1).gbps
+        il = bw("optane", "ntstore", 12).gbps
+        assert il / ni >= 4.5                # paper: 5.6x
+
+    def test_dram_read_far_above_optane(self):
+        dram = bw("dram", "read", 24).gbps
+        opt = bw("optane", "read", 24).gbps
+        assert dram > 2 * opt
+
+    def test_dram_scales_monotonically(self):
+        prev = 0.0
+        for n in (1, 4, 8, 16):
+            cur = bw("dram", "read", n).gbps
+            assert cur >= prev * 0.98
+            prev = cur
+
+    def test_clwb_below_ntstore_on_optane(self):
+        clwb = bw("optane-ni", "clwb", 1).gbps
+        nt = bw("optane-ni", "ntstore", 1).gbps
+        assert clwb < nt                      # the RFO read costs BW
+
+
+class TestFigure5:
+    def test_sub_256b_random_writes_are_poor(self):
+        small = bw("optane-ni", "ntstore", 1, access=64, pattern="rand")
+        full = bw("optane-ni", "ntstore", 1, access=256, pattern="rand")
+        assert small.gbps < 0.5 * full.gbps  # knee at the XPLine
+
+    def test_4kb_interleave_dip(self):
+        at_1k = bw("optane", "ntstore", 4, access=1024, pattern="rand",
+                   per_thread=384 * KIB).gbps
+        at_4k = bw("optane", "ntstore", 4, access=4096, pattern="rand",
+                   per_thread=384 * KIB).gbps
+        at_24k = bw("optane", "ntstore", 4, access=24576, pattern="rand",
+                    per_thread=384 * KIB).gbps
+        assert at_4k < at_1k                  # dip going into 4 KB
+        assert at_24k > 1.3 * at_4k           # recovery at the stripe
+
+    def test_dip_is_an_imc_effect_not_ewr(self):
+        r = bw("optane", "ntstore", 4, access=4096, pattern="rand",
+               per_thread=384 * KIB)
+        assert r.ewr > 0.9                    # paper: EWR stays ~1
+
+
+class TestFigure9:
+    def test_64b_random_ewr(self):
+        p = ewr_experiment(access=64, threads=1, per_thread=256 * KIB)
+        assert 0.22 <= p.ewr <= 0.30          # paper: 0.25
+
+    def test_256b_random_ewr(self):
+        p = ewr_experiment(access=256, threads=1, per_thread=256 * KIB)
+        assert p.ewr >= 0.9                   # paper: 0.98
+
+    def test_ewr_correlates_with_bandwidth(self):
+        pts = []
+        for access in (64, 256, 1024):
+            for threads in (1, 4, 8):
+                pts.append(ewr_experiment(
+                    access=access, threads=threads, per_thread=64 * KIB))
+        slope, r2 = correlation(pts)
+        assert slope > 0
+        assert r2 > 0.5                       # paper: r2 0.97 (ntstore)
+
+    def test_power_budget_changes_bandwidth(self):
+        full = ewr_experiment(access=256, pattern="seq",
+                              per_thread=128 * KIB, power_budget=1.0)
+        low = ewr_experiment(access=256, pattern="seq",
+                             per_thread=128 * KIB, power_budget=0.6)
+        assert low.device_bandwidth_gbps < full.device_bandwidth_gbps
+
+
+class TestFigure10:
+    def test_combining_below_capacity(self):
+        assert probe_region(32, rounds=2).write_amplification < 1.15
+
+    def test_amplification_above_capacity(self):
+        assert probe_region(96, rounds=2).write_amplification > 1.6
+
+    def test_inferred_capacity_is_64_lines(self):
+        pts = figure10(region_sizes=(32, 48, 64, 80, 96), rounds=2)
+        assert inferred_buffer_lines(pts) == 64
+
+
+class TestFigure16:
+    def test_spreading_threads_over_dimms_hurts(self):
+        pinned = contention_experiment(dimms_per_thread=1,
+                                       per_thread=48 * KIB)
+        spread = contention_experiment(dimms_per_thread=6,
+                                       per_thread=48 * KIB)
+        assert spread.bandwidth_gbps < pinned.bandwidth_gbps
+
+    def test_degradation_is_gradual(self):
+        bws = [
+            contention_experiment(dimms_per_thread=n,
+                                  per_thread=48 * KIB).bandwidth_gbps
+            for n in (1, 2, 6)
+        ]
+        assert bws[0] > bws[1] > bws[2]
+
+
+@pytest.mark.parametrize("kind", ["optane", "optane-ni", "dram"])
+def test_bandwidth_result_consistency(kind):
+    r = measure_bandwidth(kind=kind, op="read", threads=2,
+                          per_thread=32 * KIB)
+    assert r.gbps > 0
+    assert r.elapsed_ns > 0
+    assert r.total_bytes == 2 * 32 * KIB

@@ -1,0 +1,81 @@
+"""Calibration tests: idle latency (Fig 2) and tail latency (Fig 3)."""
+
+import pytest
+
+from repro.lattester.latency import figure2, read_latency, write_latency
+from repro.lattester.tail import hotspot_tail
+
+
+def within(value, target, tol=0.12):
+    return abs(value - target) <= tol * target
+
+
+class TestFigure2:
+    """The simulator must land on the paper's published idle latencies."""
+
+    @pytest.mark.parametrize("kind,pattern,target", [
+        ("dram", "seq", 81.0),
+        ("dram", "rand", 101.0),
+        ("optane", "seq", 169.0),
+        ("optane", "rand", 305.0),
+    ])
+    def test_read_latency(self, kind, pattern, target):
+        r = read_latency(kind, pattern, samples=300)
+        assert within(r.mean_ns, target), r
+
+    @pytest.mark.parametrize("kind,instr,target", [
+        ("dram", "clwb", 57.0),
+        ("optane", "clwb", 62.0),
+        ("dram", "ntstore", 86.0),
+        ("optane", "ntstore", 90.0),
+    ])
+    def test_write_latency(self, kind, instr, target):
+        r = write_latency(kind, instr, samples=300)
+        assert within(r.mean_ns, target), r
+
+    def test_random_slower_than_sequential_on_optane(self):
+        seq = read_latency("optane", "seq", samples=200).mean_ns
+        rand = read_latency("optane", "rand", samples=200).mean_ns
+        # The paper: ~80 % gap for Optane vs ~20 % for DRAM.
+        assert rand / seq > 1.5
+
+    def test_dram_pattern_gap_small(self):
+        seq = read_latency("dram", "seq", samples=200).mean_ns
+        rand = read_latency("dram", "rand", samples=200).mean_ns
+        assert rand / seq < 1.35
+
+    def test_figure2_bundle(self):
+        out = figure2()
+        assert len(out) == 8
+        assert out["optane", "read-rand"].mean_ns > \
+            out["dram", "read-rand"].mean_ns
+
+    def test_latency_variance_is_tiny(self):
+        r = read_latency("optane", "rand", samples=300)
+        assert r.stdev_ns < 0.1 * r.mean_ns
+
+
+class TestFigure3:
+    def test_small_hotspot_has_50us_outliers(self):
+        r = hotspot_tail(hotspot=256, ops=30000)
+        assert r.max_ns > 45_000
+        assert r.p9999_ns > 10_000          # 99.99th elevated
+
+    def test_large_hotspot_far_fewer_outliers(self):
+        small = hotspot_tail(hotspot=256, ops=40000)
+        large = hotspot_tail(hotspot=1 << 20, ops=40000)
+        assert large.outliers < small.outliers
+        # ... but wear-levelling housekeeping still hits occasionally.
+        assert large.max_ns > 45_000
+
+    def test_outlier_rate_is_rare(self):
+        r = hotspot_tail(hotspot=4096, ops=30000)
+        assert r.outliers / r.samples < 0.005
+
+    def test_median_is_normal(self):
+        r = hotspot_tail(hotspot=256, ops=10000)
+        assert r.p50_ns < 300
+
+    def test_dram_has_no_outliers(self):
+        r = hotspot_tail(kind="dram-ni", hotspot=256, ops=20000)
+        assert r.max_ns < 10 * r.p50_ns

@@ -1,0 +1,152 @@
+"""Unit and property tests for the sparse data store and address math."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._units import CACHELINE
+from repro.sim.address import DataStore, line_addresses, split_lines
+
+
+class TestDataStore:
+    def test_read_unwritten_is_zero(self):
+        ds = DataStore()
+        assert ds.read(100, 8) == b"\x00" * 8
+
+    def test_write_read_roundtrip(self):
+        ds = DataStore()
+        ds.write(1000, b"hello")
+        assert ds.read(1000, 5) == b"hello"
+
+    def test_write_spanning_pages(self):
+        ds = DataStore()
+        data = bytes(range(200)) * 50        # 10000 bytes, crosses pages
+        ds.write(4000, data)
+        assert ds.read(4000, len(data)) == data
+
+    def test_persist_line_copies_whole_line(self):
+        ds = DataStore()
+        ds.write(64, b"A" * 64)
+        ds.persist_line(70)                   # middle of the line
+        assert ds.read_persistent(64, 64) == b"A" * 64
+
+    def test_unpersisted_data_not_visible_after_crash(self):
+        ds = DataStore()
+        ds.write(0, b"B" * 128)
+        ds.persist_line(0)                    # only the first line
+        ds.power_fail()
+        assert ds.read(0, 64) == b"B" * 64
+        assert ds.read(64, 64) == b"\x00" * 64
+
+    def test_persist_range(self):
+        ds = DataStore()
+        ds.write(10, b"C" * 200)
+        ds.persist_range(10, 200)
+        ds.power_fail()
+        assert ds.read(10, 200) == b"C" * 200
+
+    def test_persist_is_snapshot_of_current_volatile(self):
+        ds = DataStore()
+        ds.write(0, b"old-old-" * 8)
+        ds.write(0, b"new-new-" * 8)
+        ds.persist_line(0)
+        ds.power_fail()
+        assert ds.read(0, 8) == b"new-new-"
+
+    def test_power_fail_then_continue_writing(self):
+        ds = DataStore()
+        ds.write(0, b"X" * 64)
+        ds.persist_line(0)
+        ds.power_fail()
+        ds.write(64, b"Y" * 64)
+        assert ds.read(0, 128) == b"X" * 64 + b"Y" * 64
+
+    def test_persist_everything(self):
+        ds = DataStore()
+        ds.write(123, b"zap")
+        ds.persist_everything()
+        ds.power_fail()
+        assert ds.read(123, 3) == b"zap"
+
+    def test_persist_line_without_volatile_page_is_noop(self):
+        ds = DataStore()
+        ds.persist_line(1 << 20)
+        assert ds.read_persistent(1 << 20, 4) == b"\x00" * 4
+
+    @given(st.integers(0, 1 << 20), st.binary(min_size=1, max_size=512))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, addr, data):
+        ds = DataStore()
+        ds.write(addr, data)
+        assert ds.read(addr, len(data)) == data
+
+    @given(st.integers(0, 1 << 16), st.binary(min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_persist_range_survives_crash(self, addr, data):
+        ds = DataStore()
+        ds.write(addr, data)
+        ds.persist_range(addr, len(data))
+        ds.power_fail()
+        assert ds.read(addr, len(data)) == data
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4096), st.binary(min_size=1, max_size=64)),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_overlapping_writes_last_wins(self, writes):
+        ds = DataStore()
+        shadow = bytearray(8192)
+        for addr, data in writes:
+            ds.write(addr, data)
+            shadow[addr:addr + len(data)] = data
+        assert ds.read(0, 8192) == bytes(shadow)
+
+
+class TestSplitLines:
+    def test_single_aligned_line(self):
+        assert split_lines(0, 64) == [(0, 0, 64)]
+
+    def test_unaligned_small(self):
+        assert split_lines(10, 20) == [(0, 10, 20)]
+
+    def test_crossing_boundary(self):
+        assert split_lines(60, 8) == [(0, 60, 4), (64, 64, 4)]
+
+    def test_large_range(self):
+        pieces = split_lines(0, 256)
+        assert len(pieces) == 4
+        assert sum(p[2] for p in pieces) == 256
+
+    @given(st.integers(0, 10000), st.integers(1, 2000))
+    @settings(max_examples=60, deadline=None)
+    def test_pieces_cover_range_exactly(self, addr, size):
+        pieces = split_lines(addr, size)
+        assert sum(p[2] for p in pieces) == size
+        cur = addr
+        for line, start, length in pieces:
+            assert start == cur
+            assert line <= start < line + CACHELINE
+            assert start + length <= line + CACHELINE
+            cur += length
+
+
+class TestLineAddresses:
+    def test_aligned(self):
+        assert list(line_addresses(0, 128)) == [0, 64]
+
+    def test_unaligned_spans_extra_line(self):
+        assert list(line_addresses(60, 8)) == [0, 64]
+
+    def test_single_byte(self):
+        assert list(line_addresses(100, 1)) == [64]
+
+    @given(st.integers(0, 100000), st.integers(1, 5000))
+    @settings(max_examples=60, deadline=None)
+    def test_every_byte_covered(self, addr, size):
+        lines = list(line_addresses(addr, size))
+        assert lines[0] <= addr
+        assert lines[-1] + CACHELINE >= addr + size
+        for a, b in zip(lines, lines[1:]):
+            assert b - a == CACHELINE

@@ -1,0 +1,67 @@
+"""Unit and property tests for address interleaving."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._units import KIB
+from repro.sim.interleave import InterleavedMapping, LinearMapping
+
+
+class TestInterleavedMapping:
+    def setup_method(self):
+        self.m = InterleavedMapping(4 * KIB, 6)
+
+    def test_first_blocks_rotate_dimms(self):
+        assert [self.m.locate(i * 4 * KIB)[0] for i in range(7)] == \
+            [0, 1, 2, 3, 4, 5, 0]
+
+    def test_offset_within_block_preserved(self):
+        dimm, dev = self.m.locate(4 * KIB + 100)
+        assert dimm == 1
+        assert dev == 100
+
+    def test_stripe_wraps_to_next_device_row(self):
+        dimm, dev = self.m.locate(24 * KIB)
+        assert dimm == 0
+        assert dev == 4 * KIB
+
+    def test_stripe_size(self):
+        assert self.m.stripe_bytes == 24 * KIB
+
+    def test_span_on_dimm(self):
+        assert self.m.span_on_dimm(24 * KIB) == 4 * KIB
+        assert self.m.span_on_dimm(25 * KIB) == 8 * KIB
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            InterleavedMapping(0, 6)
+        with pytest.raises(ValueError):
+            InterleavedMapping(4096, 0)
+
+    @given(st.integers(0, 1 << 32))
+    @settings(max_examples=100, deadline=None)
+    def test_locate_is_injective(self, addr):
+        dimm, dev = self.m.locate(addr)
+        # Reconstruct the namespace address from (dimm, dev).
+        block = dev // (4 * KIB)
+        offset = dev % (4 * KIB)
+        back = (block * 6 + dimm) * 4 * KIB + offset
+        assert back == addr
+
+    @given(st.integers(0, 1 << 32))
+    @settings(max_examples=100, deadline=None)
+    def test_page_never_splits(self, addr):
+        page = addr - (addr % (4 * KIB))
+        dimm_first, _ = self.m.locate(page)
+        dimm_last, _ = self.m.locate(page + 4 * KIB - 1)
+        assert dimm_first == dimm_last
+
+
+class TestLinearMapping:
+    def test_identity(self):
+        m = LinearMapping(3)
+        assert m.locate(12345) == (3, 12345)
+
+    def test_single_dimm(self):
+        assert LinearMapping().dimms == 1

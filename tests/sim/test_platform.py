@@ -1,0 +1,110 @@
+"""Tests for machine assembly, namespace kinds and crash simulation."""
+
+import pytest
+
+from repro.sim import Machine, MachineConfig
+
+
+class TestNamespaceKinds:
+    def setup_method(self):
+        self.m = Machine()
+
+    def test_optane_interleaved_six_dimms(self):
+        ns = self.m.namespace("optane")
+        assert len(ns.dimms) == 6
+        assert ns.is_optane
+
+    def test_optane_ni_single_dimm(self):
+        ns = self.m.namespace("optane-ni")
+        assert len(ns.dimms) == 1
+
+    def test_ni_selects_requested_dimm(self):
+        ns0 = self.m.namespace("optane-ni", dimm=0)
+        ns3 = self.m.namespace("optane-ni", dimm=3)
+        assert ns0.dimms[0] is not ns3.dimms[0]
+
+    def test_remote_lives_on_socket_1(self):
+        ns = self.m.namespace("optane-remote")
+        assert ns.socket == 1
+
+    def test_dram_kinds(self):
+        assert not self.m.namespace("dram").is_optane
+        assert self.m.namespace("dram-ni").dimms[0] is not None
+        assert self.m.namespace("dram-remote").socket == 1
+
+    def test_namespace_identity_cached(self):
+        assert self.m.namespace("optane") is self.m.namespace("optane")
+
+    def test_distinct_namespaces_distinct_ids(self):
+        a = self.m.namespace("optane")
+        b = self.m.namespace("dram")
+        assert a.ns_id != b.ns_id
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            self.m.namespace("nvme")
+        with pytest.raises(ValueError):
+            self.m.namespace("optane-weird")
+
+
+class TestThreads:
+    def test_thread_socket_pinning(self):
+        m = Machine()
+        t = m.thread(socket=1)
+        assert t.socket == 1
+
+    def test_threads_batch(self):
+        m = Machine()
+        ts = m.threads(4)
+        assert len(ts) == 4
+        assert len({t.tid for t in ts}) == 4
+
+    def test_windows_from_config(self):
+        cfg = MachineConfig()
+        cfg.cache.load_window = 7
+        cfg.wpq.per_thread_lines = 3
+        m = Machine(cfg)
+        t = m.thread()
+        assert t.load_window == 7
+        assert t.store_window == 3
+
+
+class TestPowerFail:
+    def test_crash_isolates_namespaces_correctly(self):
+        m = Machine()
+        a = m.namespace("optane")
+        b = m.namespace("optane-ni")
+        t = m.thread()
+        a.pwrite(t, 0, b"AAAA", instr="ntstore")
+        b.store(t, 0, 64, data=b"BBBB")
+        m.power_fail()
+        assert a.read_persistent(0, 4) == b"AAAA"
+        assert b.read_persistent(0, 4) == b"\x00" * 4
+
+    def test_crash_clears_caches(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        ns.load(t, 0)
+        m.power_fail()
+        assert m.caches[0].occupancy() == 0
+
+    def test_crash_clears_pending_persists(self):
+        m = Machine()
+        ns = m.namespace("optane")
+        t = m.thread()
+        ns.ntstore(t, 0)
+        m.power_fail()
+        assert not t.pending_persists
+
+
+class TestIntrospection:
+    def test_migration_counters_start_zero(self):
+        m = Machine()
+        assert m.total_migrations() == 0
+        assert m.total_thermal_stalls() == 0
+
+    def test_config_override_helper(self):
+        cfg = MachineConfig().with_overrides(sockets=1)
+        assert cfg.sockets == 1
+        assert MachineConfig().sockets == 2

@@ -1,0 +1,149 @@
+"""Unit and property tests for the XPBuffer write-combining model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import XPBufferConfig
+from repro.sim.xpbuffer import FULL_MASK, BufferEntry, XPBuffer
+
+
+def make_buffer(sets=16, ways=4):
+    return XPBuffer(XPBufferConfig(sets=sets, ways=ways))
+
+
+class TestBufferEntry:
+    def test_fresh_entry_not_dirty(self):
+        e = BufferEntry(5)
+        assert not e.dirty
+        assert not e.fully_dirty
+
+    def test_fully_dirty(self):
+        e = BufferEntry(5, dirty_mask=FULL_MASK)
+        assert e.fully_dirty
+        assert not e.needs_rmw()
+
+    def test_partial_unvalidated_needs_rmw(self):
+        e = BufferEntry(5, dirty_mask=0b0001)
+        assert e.needs_rmw()
+
+    def test_partial_but_valid_no_rmw(self):
+        e = BufferEntry(5, dirty_mask=0b0001, valid=True)
+        assert not e.needs_rmw()
+
+
+class TestWriteCombining:
+    def test_four_sublines_combine(self):
+        buf = make_buffer()
+        for sub in range(4):
+            entry, hit, evicted = buf.write(7, sub)
+            assert evicted is None
+            assert hit == (sub > 0)
+        assert entry.fully_dirty
+
+    def test_capacity_eviction_is_fifo(self):
+        buf = make_buffer(sets=1, ways=2)
+        buf.write(0, 0)
+        buf.write(1, 0)
+        _, _, evicted = buf.write(2, 0)
+        assert evicted.xpline == 0
+
+    def test_write_hit_does_not_refresh_fifo_position(self):
+        buf = make_buffer(sets=1, ways=2)
+        buf.write(0, 0)
+        buf.write(1, 0)
+        buf.write(0, 1)              # hit: merges, but stays oldest
+        _, _, evicted = buf.write(2, 0)
+        assert evicted.xpline == 0
+
+    def test_overwrite_flushes_previous_version(self):
+        buf = make_buffer()
+        buf.write(3, 0)
+        entry, hit, evicted = buf.write(3, 0)
+        assert not hit
+        assert evicted is not None and evicted.xpline == 3
+        assert entry.dirty_mask == 0b0001
+
+    def test_overwrite_of_clean_read_entry_no_flush(self):
+        buf = make_buffer()
+        buf.read(3)
+        entry, hit, evicted = buf.write(3, 0)
+        assert hit                     # subline was not dirty: merge
+        assert evicted is None
+        assert entry.valid
+
+    def test_eviction_within_set_only(self):
+        buf = make_buffer(sets=2, ways=1)
+        buf.write(0, 0)                # set 0
+        _, _, evicted = buf.write(1, 0)  # set 1
+        assert evicted is None
+
+    def test_occupancy_bounded_by_capacity(self):
+        buf = make_buffer(sets=4, ways=2)
+        for line in range(100):
+            buf.write(line, 0)
+        assert buf.occupancy() == 8
+
+
+class TestReads:
+    def test_read_miss_allocates_valid(self):
+        buf = make_buffer()
+        hit, evicted = buf.read(9)
+        assert not hit and evicted is None
+        assert buf.lookup(9).valid
+
+    def test_read_hit(self):
+        buf = make_buffer()
+        buf.read(9)
+        hit, _ = buf.read(9)
+        assert hit
+
+    def test_read_allocation_can_evict_dirty_write(self):
+        buf = make_buffer(sets=1, ways=1)
+        buf.write(0, 0)
+        hit, evicted = buf.read(1)
+        assert not hit
+        assert evicted.xpline == 0 and evicted.dirty
+
+
+class TestFlushAll:
+    def test_flush_returns_only_dirty(self):
+        buf = make_buffer()
+        buf.write(0, 0)
+        buf.read(20)
+        dirty = buf.flush_all()
+        assert [e.xpline for e in dirty] == [0]
+        assert buf.occupancy() == 0
+
+    def test_dirty_lines_count(self):
+        buf = make_buffer()
+        buf.write(0, 0)
+        buf.write(16, 1)
+        buf.read(40)
+        assert buf.dirty_lines() == 2
+
+
+@given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 3)),
+                min_size=1, max_size=400))
+@settings(max_examples=50, deadline=None)
+def test_invariants_under_random_write_streams(ops):
+    buf = make_buffer()
+    config = XPBufferConfig()
+    for xpline, subline in ops:
+        entry, hit, evicted = buf.write(xpline, subline)
+        assert entry.dirty_mask & (1 << subline)
+        if evicted is not None:
+            assert evicted.dirty
+        assert buf.occupancy() <= config.lines
+    # Every resident entry is placed in its home set.
+    for idx, table in enumerate(buf._table):
+        for line in table:
+            assert line % config.sets == idx
+
+
+@given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_hits_plus_misses_equals_accesses(lines):
+    buf = make_buffer()
+    for line in lines:
+        buf.read(line)
+    assert buf.hits + buf.misses == len(lines)

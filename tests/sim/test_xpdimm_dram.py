@@ -1,0 +1,141 @@
+"""Unit tests for the XPDimm controller and the DRAM comparator."""
+
+from repro._units import CACHELINE, XPLINE
+from repro.sim.config import DRAMConfig, MachineConfig
+from repro.sim.dram import DRAMDimm
+from repro.sim.xpdimm import XPDimm
+
+
+def make_dimm(**ait_overrides):
+    cfg = MachineConfig()
+    cfg.ait.enabled = bool(ait_overrides.get("enabled", False))
+    return XPDimm(cfg, "xp.test")
+
+
+class TestXPDimmWrites:
+    def test_sequential_line_combines_to_one_media_write(self):
+        dimm = make_dimm()
+        now = 0.0
+        # Fill one XPLine, then enough more to force its eviction.
+        for i in range(65 * 4):
+            now = dimm.ingest_write(now, i * CACHELINE)
+        dimm.drain(now)
+        c = dimm.counters
+        assert c.imc_write_bytes == 65 * 4 * CACHELINE
+        assert c.media_write_bytes == 65 * XPLINE
+        assert c.media_read_bytes == 0          # no RMW for full lines
+
+    def test_random_64b_writes_amplify(self):
+        dimm = make_dimm()
+        now = 0.0
+        # One 64 B write per distinct XPLine: every eviction is partial.
+        for i in range(200):
+            now = dimm.ingest_write(now, i * XPLINE)
+        dimm.drain(now)
+        c = dimm.counters
+        assert c.media_write_bytes == 200 * XPLINE
+        assert c.media_read_bytes > 0            # RMWs happened
+        ewr = c.imc_write_bytes / c.media_write_bytes
+        assert abs(ewr - 0.25) < 0.01
+
+    def test_buffer_hit_is_fast(self):
+        dimm = make_dimm()
+        t0 = dimm.ingest_write(0.0, 0)
+        t1 = dimm.ingest_write(t0, CACHELINE)
+        assert t1 - t0 == dimm._buf_cfg.ingest_ns
+
+    def test_overwrite_forces_flush(self):
+        dimm = make_dimm()
+        now = 0.0
+        for _ in range(10):
+            for sub in range(4):
+                now = dimm.ingest_write(now, sub * CACHELINE)
+        dimm.drain(now)
+        # Each 256 B round after the first flushes the previous round.
+        assert dimm.counters.media_write_bytes == 10 * XPLINE
+
+    def test_imc_byte_accounting(self):
+        dimm = make_dimm()
+        for i in range(10):
+            dimm.ingest_write(0.0, i * CACHELINE)
+        assert dimm.counters.imc_write_bytes == 10 * CACHELINE
+
+
+class TestXPDimmReads:
+    def test_miss_then_hits_within_xpline(self):
+        dimm = make_dimm()
+        t_miss = dimm.read(0.0, 0)
+        t_hit = dimm.read(0.0, CACHELINE)
+        assert t_miss == 305.0
+        assert t_hit == 123.0
+
+    def test_read_counts_media_traffic(self):
+        dimm = make_dimm()
+        dimm.read(0.0, 0)
+        dimm.read(0.0, CACHELINE)
+        assert dimm.counters.media_read_bytes == XPLINE
+        assert dimm.counters.imc_read_bytes == 2 * CACHELINE
+
+    def test_reads_compete_with_writes_for_buffer(self):
+        dimm = make_dimm()
+        now = 0.0
+        for i in range(64 * 4):                # fill the buffer with writes
+            now = dimm.ingest_write(now, i * CACHELINE)
+        before = dimm.counters.media_write_bytes
+        # 64 read misses allocate 64 entries, evicting dirty lines.
+        for i in range(100, 164):
+            dimm.read(now, i * XPLINE)
+        assert dimm.counters.media_write_bytes > before
+
+
+class TestXPDimmManagement:
+    def test_drain_flushes_everything(self):
+        dimm = make_dimm()
+        for i in range(16):
+            dimm.ingest_write(0.0, i * XPLINE)
+        dimm.drain(0.0)
+        assert dimm.buffer.occupancy() == 0
+        assert dimm.counters.media_write_bytes == 16 * XPLINE
+
+    def test_reset(self):
+        dimm = make_dimm()
+        dimm.ingest_write(0.0, 0)
+        dimm.reset()
+        assert dimm.counters.imc_write_bytes == 0
+        assert dimm.buffer.occupancy() == 0
+
+
+class TestDRAM:
+    def test_row_hit_faster_than_miss(self):
+        cfg = DRAMConfig()
+        dimm = DRAMDimm(cfg, "d")
+        t1 = dimm.read(0.0, 0)
+        t2 = dimm.read(t1, CACHELINE)           # same row: hit
+        far = dimm.read(t2, 40 * cfg.row_bytes)  # same bank, new row
+        assert t2 - t1 < far - t2
+
+    def test_idle_latency_targets(self):
+        cfg = DRAMConfig()
+        dimm = DRAMDimm(cfg, "d")
+        dimm.read(0.0, 0)                       # open the row
+        hit = dimm.read(0.0, CACHELINE)
+        assert hit == cfg.row_hit_occupancy_ns + cfg.read_extra_ns
+
+    def test_write_accept(self):
+        dimm = DRAMDimm(DRAMConfig(), "d")
+        end = dimm.ingest_write(0.0, 0)
+        assert end == DRAMConfig().write_occupancy_ns
+
+    def test_no_amplification_counters(self):
+        dimm = DRAMDimm(DRAMConfig(), "d")
+        dimm.ingest_write(0.0, 0)
+        dimm.read(0.0, 64)
+        assert dimm.counters.media_write_bytes == 0
+        assert dimm.counters.imc_write_bytes == CACHELINE
+
+    def test_banks_parallel(self):
+        cfg = DRAMConfig(banks=2)
+        dimm = DRAMDimm(cfg, "d")
+        t1 = dimm.ingest_write(0.0, 0)
+        t2 = dimm.ingest_write(0.0, cfg.row_bytes)   # different bank
+        assert t1 == t2

@@ -1,0 +1,91 @@
+"""Tests for the CLI (python -m repro) and the report formatting."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.lattester.report import (
+    bandwidth_table, comparison, format_value, latency_table,
+    series_table, table,
+)
+
+
+class TestReportFormatting:
+    def test_format_value_floats(self):
+        assert format_value(1.234) == "1.23"
+        assert format_value(1234.5) == "1234"
+        assert format_value(float("nan")) == "nan"
+
+    def test_format_value_passthrough(self):
+        assert format_value("x") == "x"
+        assert format_value(7) == "7"
+
+    def test_table_alignment(self):
+        text = table(["a", "long-header"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_table_title(self):
+        text = table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_series_table_merges_x_values(self):
+        text = series_table({"a": [(1, 10), (2, 20)], "b": [(2, 5)]},
+                            x_label="n")
+        assert "n" in text and "a" in text and "b" in text
+        assert "20" in text and "5" in text
+
+    def test_latency_table(self):
+        from repro.lattester.latency import LatencyResult
+        text = latency_table(
+            {"read": LatencyResult(mean_ns=100.0, stdev_ns=1.0,
+                                   samples=10)})
+        assert "read" in text and "100.00" in text
+
+    def test_bandwidth_table(self):
+        from repro.lattester.bandwidth import BandwidthResult
+        r = BandwidthResult(gbps=2.5, elapsed_ns=10.0, total_bytes=100,
+                            ewr=float("inf"), threads=2, op="read",
+                            access=64, pattern="seq")
+        text = bandwidth_table([r])
+        assert "read" in text and "2.50" in text and "-" in text
+
+    def test_comparison_line(self):
+        line = comparison("x", 1.0, 2.0, "ns")
+        assert "measured" in line and "paper" in line
+
+
+class TestCLI:
+    def test_list_exits_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "fig19" in out
+
+    def test_guidelines(self, capsys):
+        assert main(["guidelines"]) == 0
+        assert "Best practices" in capsys.readouterr().out
+
+    def test_audit_clean_plan(self, capsys):
+        rc = main(["audit", "--access", "4096", "--pattern", "seq"])
+        assert rc == 0
+        assert "ship it" in capsys.readouterr().out
+
+    def test_audit_bad_plan_nonzero_exit(self, capsys):
+        rc = main(["audit", "--access", "64", "--threads", "24",
+                   "--remote", "--mixed"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "G1" in out and "G3" in out and "G4" in out
+
+    def test_run_dispatches_experiment(self, capsys):
+        rc = main(["run", "fig10"])
+        assert rc == 0
+        assert "XPBuffer" in capsys.readouterr().out
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

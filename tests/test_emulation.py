@@ -1,0 +1,119 @@
+"""Tests for the emulation methodologies (Section 4)."""
+
+import pytest
+
+from repro._units import KIB
+from repro.emulation import make_emulated_namespace
+from repro.emulation.pmep import (
+    PMEP_READ_EXTRA_NS, PMEP_WRITE_THROTTLE_FACTOR, make_pmep_namespace,
+)
+from repro.emulation.study import mix_bandwidth, write_latency_bandwidth
+from repro.lattester.latency import read_latency
+from repro.sim import Machine
+
+
+class TestPMEP:
+    def test_read_latency_adds_300ns(self):
+        m = Machine()
+        pmep = make_pmep_namespace(m)
+        dram = m.namespace("dram")
+        t1 = m.thread().collect_latencies()
+        t2 = m.thread().collect_latencies()
+        pmep.load(t1, 0)
+        dram.load(t2, 0)
+        delta = t1.latencies[0] - t2.latencies[0]
+        assert abs(delta - PMEP_READ_EXTRA_NS) < 5.0
+
+    def test_write_bandwidth_throttled(self):
+        from repro.lattester.access import ntstore_kernel
+        from repro.sim import run_workloads
+        from repro._units import gb_per_s, CACHELINE
+
+        def nt_bw(ns, m):
+            t = m.thread()
+            addrs = (i * CACHELINE for i in range(2048))
+            gen = ntstore_kernel(ns, t, addrs, CACHELINE)
+            elapsed = run_workloads([(t, gen)])
+            return gb_per_s(2048 * CACHELINE, elapsed)
+
+        m1 = Machine()
+        pmep = nt_bw(make_pmep_namespace(m1), m1)
+        m2 = Machine()
+        dram = nt_bw(m2.namespace("dram-ni"), m2)
+        assert pmep < dram / (PMEP_WRITE_THROTTLE_FACTOR / 3)
+
+    def test_pmep_data_roundtrip(self):
+        m = Machine()
+        pmep = make_pmep_namespace(m)
+        t = m.thread()
+        pmep.pwrite(t, 0, b"emulated", instr="ntstore")
+        assert pmep.pread(t, 0, 8) == b"emulated"
+
+    def test_pmep_misses_the_xpline_knee(self):
+        # The defining failure of emulation: no 256 B granularity.
+        from repro.lattester.bandwidth import measure_bandwidth
+        m = Machine()
+        ns = make_pmep_namespace(m)
+        # Reuse the kernels directly against the pmep namespace.
+        from repro.lattester.access import (
+            address_stream, ntstore_kernel, staggered_base,
+        )
+        from repro.sim import run_workloads
+        from repro._units import gb_per_s
+
+        def bw(access):
+            machine = Machine()
+            pmep = make_pmep_namespace(machine)
+            t = machine.thread()
+            addrs = address_stream(0, 64 * KIB, access, "rand", seed=3)
+            elapsed = run_workloads(
+                [(t, ntstore_kernel(pmep, t, addrs, access))])
+            return gb_per_s(64 * KIB, elapsed)
+
+        small, large = bw(64), bw(256)
+        assert small > 0.7 * large   # real Optane: ~4x apart
+        del measure_bandwidth, staggered_base, ns, m
+
+
+class TestFactory:
+    def test_kinds(self):
+        m = Machine()
+        assert make_emulated_namespace(m, "dram").socket == 0
+        assert make_emulated_namespace(m, "dram-remote").socket == 1
+        assert make_emulated_namespace(m, "pmep").name == "pmep"
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_emulated_namespace(Machine(), "quartz")
+
+
+class TestFigure7Shapes:
+    def test_no_emulator_matches_optane_writes(self):
+        optane_bw, optane_lat = write_latency_bandwidth(
+            "optane", threads=4, per_thread=32 * KIB)
+        for methodology in ("dram", "dram-remote", "pmep"):
+            bw, lat = write_latency_bandwidth(
+                methodology, threads=4, per_thread=32 * KIB)
+            assert abs(bw - optane_bw) / optane_bw > 0.25 or \
+                abs(lat - optane_lat) / optane_lat > 0.25
+
+    def test_dram_is_wildly_optimistic(self):
+        # Use a span well past the 96 KB aggregate XPBuffer so Optane
+        # runs at drain rate, as any sustained workload does.
+        optane_bw, _ = write_latency_bandwidth("optane", threads=4,
+                                               per_thread=128 * KIB)
+        dram_bw, _ = write_latency_bandwidth("dram", threads=4,
+                                             per_thread=128 * KIB)
+        assert dram_bw > 1.8 * optane_bw
+
+    def test_emulators_miss_pattern_sensitivity(self):
+        # DRAM's seq/rand read gap is small; Optane's is large.
+        gap_dram = read_latency("dram", "rand").mean_ns / \
+            read_latency("dram", "seq").mean_ns
+        gap_opt = read_latency("optane", "rand").mean_ns / \
+            read_latency("optane", "seq").mean_ns
+        assert gap_opt > gap_dram + 0.3
+
+    def test_mix_bandwidth_runs(self):
+        bw = mix_bandwidth("dram", 0.5, threads=4, per_thread=16 * KIB)
+        assert bw > 0
