@@ -3,13 +3,23 @@
 Every benchmark regenerates one paper figure on the simulator and
 prints a paper-vs-measured table (run pytest with ``-s`` to see them;
 they are also appended to ``benchmarks/results.txt``).
+
+The suite runs through the experiment harness's artifact store: one
+:class:`repro.harness.RunManifest` per pytest session records each
+figure's wall time and pass/fail provenance under the cache root
+(``.repro-cache/benchmarks-manifest.json``), so two benchmark runs can
+be diffed with ``python -m repro compare``.
 """
 
 import os
+import time
 
 import pytest
 
+from repro.harness import RunManifest, cache_dir
+
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+MANIFEST_NAME = "benchmarks-manifest.json"
 
 
 class FigureReport:
@@ -43,13 +53,42 @@ class FigureReport:
             fh.write(report + "\n")
 
 
+@pytest.fixture(scope="session")
+def run_manifest():
+    """The session-wide harness manifest for this benchmark run."""
+    manifest = RunManifest(name="benchmarks")
+    yield manifest
+    manifest.finish()
+    manifest.save(os.path.join(cache_dir(), MANIFEST_NAME))
+
+
 @pytest.fixture
-def report(request):
-    """A per-test FigureReport, emitted automatically at teardown."""
+def report(request, run_manifest):
+    """A per-test FigureReport, emitted automatically at teardown.
+
+    Teardown also records the figure's provenance (wall time, outcome)
+    in the session's harness manifest.
+    """
     name = request.node.name
     rep = FigureReport(name.replace("test_", ""), request.node.nodeid)
+    started = time.time()
     yield rep
     rep.emit()
+    failed = getattr(request.node, "rep_call_failed", False)
+    run_manifest.add_point(
+        params={"figure": name.replace("test_", "")},
+        record={"wall_s": time.time() - started},
+        elapsed_s=time.time() - started,
+        error="benchmark assertion failed" if failed else None)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Expose call-phase failure to the report fixture's teardown."""
+    outcome = yield
+    rep = outcome.get_result()
+    if rep.when == "call":
+        item.rep_call_failed = rep.failed
 
 
 def fmt(value, digits=2):

@@ -3,62 +3,92 @@
 The paper's LATTester first phase swept access pattern, operation,
 access size, stride, power budget, NUMA configuration and interleaving,
 collecting over ten thousand data points.  This script reproduces that
-scale on the simulator and writes the results to CSV for offline
-analysis (Figure 9-style mining).
+scale on the simulator through the experiment harness: points fan out
+across worker processes, previously measured points replay from the
+content-addressed cache, and the run's provenance lands in a manifest
+next to the CSV (compare two runs with ``python -m repro compare``).
 
-Usage:  python scripts/full_sweep.py [out.csv] [--quick]
+Usage:  python scripts/full_sweep.py [--quick] [--jobs N] [--no-cache]
+                                     [--out sweep.csv] [--manifest M]
 """
 
+import argparse
 import sys
 import time
 
 from repro._units import KIB
-from repro.lattester.sweep import sweep_grid, write_csv
+from repro.harness import ResultCache, run_sweep
+from repro.lattester.sweep import FULL_GRID, QUICK_GRID, write_csv
 
-FULL_GRID = {
-    "kind": ("optane", "optane-ni", "optane-remote", "dram",
-             "dram-ni", "dram-remote"),
-    "op": ("read", "ntstore", "clwb", "store"),
-    "pattern": ("seq", "rand"),
-    "access": (64, 128, 256, 512, 1024, 4096, 16384),
-    "threads": (1, 2, 4, 8, 16, 24),
-}
 
-QUICK_GRID = {
-    "kind": ("optane", "optane-ni", "dram"),
-    "op": ("read", "ntstore", "clwb"),
-    "pattern": ("seq", "rand"),
-    "access": (64, 256, 4096),
-    "threads": (1, 4, 16),
-}
+def build_parser():
+    parser = argparse.ArgumentParser(
+        description="systematic LATTester-style sweep via the harness")
+    parser.add_argument("out", nargs="?", default="sweep.csv",
+                        help="output CSV path (default: sweep.csv)")
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid for smoke runs")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: one per CPU)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every point, ignore the cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache root (default: .repro-cache)")
+    parser.add_argument("--manifest", default=None,
+                        help="manifest path (default: <out>.manifest.json)")
+    return parser
 
 
 def main(argv):
-    out = argv[0] if argv and not argv[0].startswith("-") else "sweep.csv"
-    grid = QUICK_GRID if "--quick" in argv else FULL_GRID
+    args = build_parser().parse_args(argv)
+    grid = QUICK_GRID if args.quick else FULL_GRID
     total = 1
     for values in grid.values():
         total *= len(values)
-    print("sweeping %d configurations -> %s" % (total, out))
+    print("sweeping %d configurations -> %s" % (total, args.out))
     started = time.time()
-    done = []
+    done = [0]
 
-    def progress(record):
-        done.append(record)
-        if len(done) % 50 == 0:
-            rate = len(done) / (time.time() - started)
-            print("  %5d/%d  (%.1f cfg/s)  last: %s/%s %s %dB x%d -> "
-                  "%.2f GB/s"
-                  % (len(done), total, rate, record["kind"],
-                     record["op"], record["pattern"], record["access"],
-                     record["threads"], record["gbps"]))
+    def progress(outcome):
+        done[0] += 1
+        if done[0] % 50 == 0 or done[0] == total:
+            rate = done[0] / max(time.time() - started, 1e-9)
+            record = outcome.value
+            if outcome.ok:
+                tail = ("last: %s/%s %s %dB x%d -> %.2f GB/s%s"
+                        % (record["kind"], record["op"],
+                           record["pattern"], record["access"],
+                           record["threads"], record["gbps"],
+                           " (cached)" if outcome.cached else ""))
+            else:
+                tail = "last: FAILED (%s)" % outcome.error
+            print("  %5d/%d  (%.1f points/s)  %s"
+                  % (done[0], total, rate, tail))
 
-    records = sweep_grid(grid=grid, per_thread=48 * KIB,
-                         progress=progress)
-    write_csv(records, out)
-    print("wrote %d records to %s in %.0f s"
-          % (len(records), out, time.time() - started))
+    cache = ResultCache(root=args.cache_dir,
+                        enabled=not args.no_cache)
+    run = run_sweep(grid, per_thread=48 * KIB, jobs=args.jobs,
+                    cache=cache, progress=progress, name="full_sweep")
+    write_csv(run.records, args.out)
+    manifest_path = args.manifest or args.out + ".manifest.json"
+    run.manifest.save(manifest_path)
+
+    elapsed = time.time() - started
+    stats = run.manifest.cache_stats or {}
+    print("wrote %d records to %s in %.1f s (%.1f points/s)"
+          % (len(run.records), args.out, elapsed,
+             total / max(elapsed, 1e-9)))
+    print("cache: %d hits / %d misses (%.0f%% hit rate); manifest: %s"
+          % (stats.get("hits", 0), stats.get("misses", 0),
+             100.0 * stats.get("hit_rate", 0.0), manifest_path))
+    if run.failures:
+        print("ERROR: %d of %d points failed:" % (len(run.failures),
+                                                  total))
+        for point in run.failures[:10]:
+            print("  %s: %s" % (point["params"], point["error"]))
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main(sys.argv[1:])
+    sys.exit(main(sys.argv[1:]))

@@ -1,17 +1,27 @@
 """Regenerate every reproduced experiment and write a combined report.
 
-Runs each entry of the experiment registry (fig2..fig19) with default
-parameters and dumps the raw results to ``experiments_raw.txt``.  For
-the asserted paper-vs-measured comparisons, run the benchmark suite
-instead (``pytest benchmarks/ --benchmark-only -s``).
+Runs each entry of the experiment registry (fig2..fig19) through the
+harness's content-addressed cache — a second invocation replays every
+unchanged figure instead of re-simulating it — and dumps the raw
+results to ``experiments_raw.txt`` plus a run manifest recording
+per-figure wall time and provenance.  For the asserted paper-vs-
+measured comparisons, run the benchmark suite instead
+(``pytest benchmarks/ --benchmark-only -s``).
 
 Usage: python scripts/regenerate_all.py [out.txt] [figN ...]
+           [--quick] [--no-cache] [--manifest M]
 """
 
+import argparse
 import sys
 import time
 
 from repro.core.experiments import all_experiments, get
+from repro.harness import ResultCache, RunManifest, point_key
+
+# Figures cheap enough for a smoke pass (--quick): each finishes in a
+# few seconds on the simulator.
+QUICK_FIGURES = ("fig2", "fig10", "fig13", "fig14")
 
 
 def _dump(fh, value, indent="  "):
@@ -29,26 +39,91 @@ def _dump(fh, value, indent="  "):
         fh.write("%s%s\n" % (indent, value))
 
 
+def build_parser():
+    parser = argparse.ArgumentParser(
+        description="regenerate registry experiments via the harness")
+    parser.add_argument("args", nargs="*", metavar="out.txt|figN",
+                        help="output path and/or figure ids")
+    parser.add_argument("--quick", action="store_true",
+                        help="only the fast figures (%s)"
+                        % ", ".join(QUICK_FIGURES))
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every figure, ignore the cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache root (default: .repro-cache)")
+    parser.add_argument("--manifest", default=None,
+                        help="manifest path (default: <out>.manifest.json)")
+    return parser
+
+
 def main(argv):
-    out = argv[0] if argv and not argv[0].startswith("fig") \
-        else "experiments_raw.txt"
-    wanted = [a for a in argv if a.startswith("fig")]
-    experiments = [get(f) for f in wanted] if wanted else all_experiments()
+    args = build_parser().parse_args(argv)
+    out = "experiments_raw.txt"
+    wanted = []
+    for arg in args.args:
+        if arg.startswith("fig"):
+            wanted.append(arg)
+        else:
+            out = arg
+    if args.quick and not wanted:
+        wanted = list(QUICK_FIGURES)
+    try:
+        experiments = [get(f) for f in wanted] if wanted \
+            else all_experiments()
+    except KeyError as exc:
+        print("error:", exc.args[0])
+        return 2
+
+    cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
+    manifest = RunManifest(name="regenerate_all",
+                           grid={"figures": [e.figure
+                                             for e in experiments]})
+    started = time.time()
+    failures = []
     with open(out, "w") as fh:
-        for exp in experiments:
-            print("running %s — %s ..." % (exp.figure, exp.title),
+        for index, exp in enumerate(experiments, 1):
+            print("[%d/%d] %s — %s ..." % (index, len(experiments),
+                                           exp.figure, exp.title),
                   end=" ", flush=True)
-            started = time.time()
-            result = exp.run()
-            elapsed = time.time() - started
-            print("%.1f s" % elapsed)
+            fig_started = time.time()
+            try:
+                result, cached = exp.run_cached(cache=cache)
+                error = None
+            except Exception as exc:
+                result, cached = None, False
+                error = "%s: %s" % (type(exc).__name__, exc)
+            elapsed = time.time() - fig_started
+            manifest.add_point(params={"figure": exp.figure},
+                               key=point_key("experiment:" + exp.figure,
+                                             {}),
+                               record=result, cached=cached,
+                               elapsed_s=elapsed, error=error)
+            if error is not None:
+                failures.append((exp.figure, error))
+                print("FAILED (%s)" % error)
+                continue
+            print("%.1f s%s" % (elapsed, " (cached)" if cached else ""))
             fh.write("== %s — %s (Section %s)\n"
                      % (exp.figure, exp.title, exp.section))
             fh.write("   workload: %s\n" % exp.workload)
             _dump(fh, result)
             fh.write("\n")
-    print("wrote", out)
+    manifest.finish(cache=cache)
+    manifest_path = args.manifest or out + ".manifest.json"
+    manifest.save(manifest_path)
+
+    elapsed = time.time() - started
+    print("wrote %s and %s in %.1f s (%.2f figures/s, %d cached)"
+          % (out, manifest_path, elapsed,
+             len(experiments) / max(elapsed, 1e-9),
+             len(manifest.cached_points)))
+    if failures:
+        print("ERROR: %d figure(s) failed:" % len(failures))
+        for figure, error in failures:
+            print("  %s: %s" % (figure, error))
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main(sys.argv[1:])
+    sys.exit(main(sys.argv[1:]))

@@ -4,6 +4,9 @@ Commands:
 
 * ``list``                — the experiment registry (figure, title, bench)
 * ``run fig10 [...]``     — run experiments and print their raw results
+* ``sweep [--quick] ...`` — the systematic sweep through the harness
+* ``cache stats|clear``   — inspect or empty the result cache
+* ``compare a b``         — diff two run manifests for metric drift
 * ``calibrate``           — the headline paper-vs-measured numbers
 * ``guidelines``          — print the four best practices
 * ``audit --access N ...``— audit an access pattern against them
@@ -12,7 +15,7 @@ Commands:
 import argparse
 import sys
 
-from repro.core.experiments import all_experiments, get
+from repro.core.experiments import REGISTRY, all_experiments, get
 from repro.core.guidelines import (
     AccessPlan, Violation, audit_access_pattern,
 )
@@ -28,6 +31,15 @@ def cmd_list(_args):
 
 
 def cmd_run(args):
+    unknown = [f for f in args.figures if f not in REGISTRY]
+    if unknown:
+        print("unknown figure%s: %s" % ("s" if len(unknown) > 1 else "",
+                                        ", ".join(unknown)),
+              file=sys.stderr)
+        print("valid figures: %s"
+              % ", ".join(e.figure for e in all_experiments()),
+              file=sys.stderr)
+        return 2
     for figure in args.figures:
         exp = get(figure)
         print("== %s — %s (workload: %s)" % (exp.figure, exp.title,
@@ -35,6 +47,82 @@ def cmd_run(args):
         result = exp.run()
         _pretty(result)
     return 0
+
+
+def cmd_sweep(args):
+    import time
+
+    from repro._units import KIB
+    from repro.harness import ResultCache, run_sweep
+    from repro.lattester.sweep import FULL_GRID, QUICK_GRID, write_csv
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    total = 1
+    for values in grid.values():
+        total *= len(values)
+    started = time.time()
+    done = [0]
+
+    def progress(outcome):
+        done[0] += 1
+        if done[0] % 50 == 0 or done[0] == total:
+            rate = done[0] / max(time.time() - started, 1e-9)
+            print("  %5d/%d  (%.1f points/s)" % (done[0], total, rate))
+
+    cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
+    run = run_sweep(grid, per_thread=48 * KIB, jobs=args.jobs,
+                    cache=cache, progress=progress, name="sweep")
+    write_csv(run.records, args.out)
+    manifest_path = args.manifest or args.out + ".manifest.json"
+    run.manifest.save(manifest_path)
+    stats = run.manifest.cache_stats or {}
+    print("wrote %d records to %s (+ %s); cache %d/%d hits"
+          % (len(run.records), args.out, manifest_path,
+             stats.get("hits", 0),
+             stats.get("hits", 0) + stats.get("misses", 0)))
+    if run.failures:
+        print("ERROR: %d point(s) failed" % len(run.failures),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_cache(args):
+    from repro.harness import ResultCache
+
+    cache = ResultCache(root=args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print("removed %d cached artifact(s) from %s"
+              % (removed, cache.root))
+        return 0
+    stats = cache.stats()
+    print("cache root: %s" % stats["root"])
+    print("artifacts:  %d (%.1f KiB)"
+          % (stats["artifacts"], stats["total_bytes"] / 1024.0))
+    for experiment in sorted(stats["by_experiment"]):
+        print("  %-28s %d" % (experiment,
+                              stats["by_experiment"][experiment]))
+    return 0
+
+
+def cmd_compare(args):
+    import json
+
+    from repro.harness import RunManifest, compare_manifests
+
+    try:
+        a = RunManifest.load(args.a)
+        b = RunManifest.load(args.b)
+    except (OSError, json.JSONDecodeError) as exc:
+        print("cannot read manifest: %s" % exc, file=sys.stderr)
+        return 2
+    comparison = compare_manifests(a, b, tolerance=args.tolerance)
+    print("comparing %s (%s) vs %s (%s), tolerance %.1f%%"
+          % (args.a, a.version, args.b, b.version,
+             100.0 * args.tolerance))
+    print(comparison.summary())
+    return 0 if comparison.clean else 1
 
 
 def _pretty(result, indent="  "):
@@ -111,6 +199,31 @@ def build_parser():
     sub.add_parser("list", help="list reproduced experiments")
     run = sub.add_parser("run", help="run experiments by figure id")
     run.add_argument("figures", nargs="+", metavar="figN")
+    sweep = sub.add_parser(
+        "sweep", help="systematic sweep through the harness")
+    sweep.add_argument("--quick", action="store_true",
+                       help="small grid for smoke runs")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: one per CPU)")
+    sweep.add_argument("--out", default="sweep.csv",
+                       help="output CSV path")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="recompute every point")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="cache root (default: .repro-cache)")
+    sweep.add_argument("--manifest", default=None,
+                       help="manifest path (default: <out>.manifest.json)")
+    cache = sub.add_parser("cache", help="result-cache maintenance")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--cache-dir", default=None,
+                       help="cache root (default: .repro-cache)")
+    compare = sub.add_parser(
+        "compare", help="diff two run manifests for metric drift")
+    compare.add_argument("a", help="baseline manifest (JSON)")
+    compare.add_argument("b", help="candidate manifest (JSON)")
+    compare.add_argument("--tolerance", type=float, default=0.05,
+                         help="max relative drift per metric "
+                              "(default: 0.05)")
     sub.add_parser("calibrate", help="paper-vs-measured headline numbers")
     sub.add_parser("guidelines", help="print the four best practices")
     audit = sub.add_parser("audit", help="audit an access pattern")
@@ -136,6 +249,9 @@ def main(argv=None):
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
+        "sweep": cmd_sweep,
+        "cache": cmd_cache,
+        "compare": cmd_compare,
         "guidelines": cmd_guidelines,
         "audit": cmd_audit,
     }

@@ -1,0 +1,43 @@
+"""repro.harness — the experiment-harness subsystem.
+
+The paper's LATTester methodology is a sweep machine (its first phase
+alone collects >10,000 points, §3.1); this package is the substrate
+that makes regenerating such matrices cheap:
+
+* :mod:`repro.harness.executor` — fans independent points out across
+  worker processes with deterministic result ordering and graceful
+  degradation to serial;
+* :mod:`repro.harness.cache` — a content-addressed on-disk result
+  cache keyed by experiment, grid point, simulator config and package
+  version;
+* :mod:`repro.harness.manifest` — the run-manifest artifact store
+  (grid, wall time, per-point provenance);
+* :mod:`repro.harness.compare` — the regression comparator that diffs
+  two manifests and flags metric drift;
+* :mod:`repro.harness.runner` — ``run_sweep`` /
+  ``run_experiment_cached`` tying the layers together.
+"""
+
+from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache, cache_dir
+from repro.harness.compare import (
+    Comparison, Drift, compare_manifests, numeric_leaves,
+)
+from repro.harness.executor import (
+    PointOutcome, effective_jobs, run_points,
+)
+from repro.harness.keys import (
+    canonical_json, config_fingerprint, point_key, to_jsonable,
+)
+from repro.harness.manifest import RunManifest
+from repro.harness.runner import (
+    SweepRun, expand_grid, run_experiment_cached, run_sweep,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR", "ResultCache", "cache_dir",
+    "Comparison", "Drift", "compare_manifests", "numeric_leaves",
+    "PointOutcome", "effective_jobs", "run_points",
+    "canonical_json", "config_fingerprint", "point_key", "to_jsonable",
+    "RunManifest",
+    "SweepRun", "expand_grid", "run_experiment_cached", "run_sweep",
+]

@@ -1,0 +1,123 @@
+"""Regression comparator: diff two run manifests for metric drift.
+
+Points are matched by their parameters (canonical JSON); every numeric
+leaf of the result record — flattened to a dotted path, nested dicts
+and lists included — is compared by relative drift.  Anything beyond
+the tolerance is flagged, as are points present in only one run and
+points whose error state changed.
+"""
+
+from dataclasses import dataclass
+
+from repro.harness.keys import canonical_json
+
+
+@dataclass
+class Drift:
+    """One metric that moved beyond tolerance between two runs."""
+
+    params: dict
+    metric: str
+    a: float
+    b: float
+    rel: float
+
+    def __str__(self):
+        return ("%s %s: %.6g -> %.6g (%+.1f%%)"
+                % (canonical_json(self.params), self.metric,
+                   self.a, self.b, 100.0 * self.rel))
+
+
+@dataclass
+class Comparison:
+    """The full outcome of diffing manifest ``a`` against ``b``."""
+
+    drifts: list
+    only_a: list            # params present only in the first run
+    only_b: list            # params present only in the second run
+    errors_changed: list    # params whose error state differs
+    matched: int            # points compared metric-by-metric
+
+    @property
+    def clean(self):
+        return not (self.drifts or self.only_a or self.only_b
+                    or self.errors_changed)
+
+    def summary(self):
+        lines = ["compared %d matching points" % self.matched]
+        for drift in self.drifts:
+            lines.append("  DRIFT  %s" % drift)
+        for params in self.only_a:
+            lines.append("  ONLY-A %s" % canonical_json(params))
+        for params in self.only_b:
+            lines.append("  ONLY-B %s" % canonical_json(params))
+        for params in self.errors_changed:
+            lines.append("  ERRORS %s" % canonical_json(params))
+        if self.clean:
+            lines.append("  no drift beyond tolerance")
+        return "\n".join(lines)
+
+
+def numeric_leaves(value, prefix=""):
+    """Flatten nested dicts/lists to ``{dotted.path: number}``.
+
+    Booleans are excluded (they are ints to Python but not metrics).
+    """
+    out = {}
+    if isinstance(value, bool):
+        return out
+    if isinstance(value, (int, float)):
+        out[prefix or "value"] = float(value)
+    elif isinstance(value, dict):
+        for key in value:
+            path = "%s.%s" % (prefix, key) if prefix else str(key)
+            out.update(numeric_leaves(value[key], path))
+    elif isinstance(value, (list, tuple)):
+        for i, item in enumerate(value):
+            path = "%s[%d]" % (prefix, i) if prefix else "[%d]" % i
+            out.update(numeric_leaves(item, path))
+    return out
+
+
+def _index(manifest):
+    points = manifest.points if hasattr(manifest, "points") \
+        else manifest.get("points", ())
+    return {canonical_json(p.get("params")): p for p in points}
+
+
+def compare_manifests(a, b, tolerance=0.05,
+                      ignore=("elapsed_s", "wall_s")):
+    """Diff manifests (objects or dicts); returns a :class:`Comparison`.
+
+    ``tolerance`` is the maximum allowed relative drift per metric.
+    ``ignore`` lists metric path *suffixes* to skip — wall-clock noise
+    like per-point elapsed seconds should not trip a regression gate.
+    """
+    index_a, index_b = _index(a), _index(b)
+    drifts, errors_changed = [], []
+    matched = 0
+    for key in index_a:
+        if key not in index_b:
+            continue
+        pa, pb = index_a[key], index_b[key]
+        if bool(pa.get("error")) != bool(pb.get("error")):
+            errors_changed.append(pa.get("params"))
+            continue
+        matched += 1
+        metrics_a = numeric_leaves(pa.get("record"))
+        metrics_b = numeric_leaves(pb.get("record"))
+        for path in sorted(set(metrics_a) & set(metrics_b)):
+            if any(path.endswith(suffix) for suffix in ignore):
+                continue
+            va, vb = metrics_a[path], metrics_b[path]
+            scale = max(abs(va), abs(vb), 1e-12)
+            rel = (vb - va) / scale
+            if abs(rel) > tolerance:
+                drifts.append(Drift(params=pa.get("params"),
+                                    metric=path, a=va, b=vb, rel=rel))
+    only_a = [index_a[k].get("params") for k in sorted(index_a)
+              if k not in index_b]
+    only_b = [index_b[k].get("params") for k in sorted(index_b)
+              if k not in index_a]
+    return Comparison(drifts=drifts, only_a=only_a, only_b=only_b,
+                      errors_changed=errors_changed, matched=matched)

@@ -1,0 +1,103 @@
+"""Parallel point executor with deterministic ordering.
+
+Experiment points are independent — each builds its own simulated
+machine — so they fan out across worker processes.  Results are
+reassembled in submission order no matter which worker finished first,
+keeping parallel output bit-identical to serial output.
+
+Failure handling is two-level:
+
+* a point that *raises* is captured as a failed :class:`PointOutcome`
+  (the sweep keeps going and the caller decides the exit code);
+* a *pool* that cannot be used at all (unpicklable worker, fork
+  failure, resource limits) degrades the whole run to in-process
+  serial execution rather than aborting.
+"""
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PointOutcome:
+    """The result (or failure) of one experiment point."""
+
+    index: int
+    payload: dict = field(repr=False, default=None)
+    value: object = None
+    error: str = None
+    elapsed_s: float = 0.0
+    cached: bool = False
+
+    @property
+    def ok(self):
+        return self.error is None
+
+
+def effective_jobs(jobs=None, points=None):
+    """Resolve the worker count: explicit, else one per CPU, capped at
+    the number of points (never spawn idle workers)."""
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    jobs = max(1, int(jobs))
+    if points is not None:
+        jobs = min(jobs, max(1, points))
+    return jobs
+
+
+def _execute(job):
+    """Run one (index, func, payload) task; never raises."""
+    index, func, payload = job
+    started = time.perf_counter()
+    try:
+        value = func(payload)
+        return index, value, None, time.perf_counter() - started
+    except Exception as exc:
+        error = "".join(traceback.format_exception_only(
+            type(exc), exc)).strip()
+        return index, None, error, time.perf_counter() - started
+
+
+def run_points(func, payloads, jobs=None, progress=None):
+    """Execute ``func(payload)`` for every payload, possibly in parallel.
+
+    Returns a list of :class:`PointOutcome` in payload order.  ``func``
+    must be a module-level callable (picklable) for the parallel path;
+    anything else silently degrades to serial.  ``progress`` is called
+    with each outcome as it completes (completion order, not payload
+    order).
+    """
+    payloads = list(payloads)
+    jobs = effective_jobs(jobs, len(payloads))
+    outcomes = [None] * len(payloads)
+    if jobs > 1:
+        try:
+            _run_pool(func, payloads, jobs, outcomes, progress)
+        except Exception:
+            # Pool-level failure: fall back to serial for whatever the
+            # pool did not finish.
+            pass
+    for index, payload in enumerate(payloads):
+        if outcomes[index] is None:
+            idx, value, error, elapsed = _execute((index, func, payload))
+            outcomes[index] = PointOutcome(
+                index=idx, payload=payload, value=value, error=error,
+                elapsed_s=elapsed)
+            if progress is not None:
+                progress(outcomes[index])
+    return outcomes
+
+
+def _run_pool(func, payloads, jobs, outcomes, progress):
+    jobs_list = [(i, func, p) for i, p in enumerate(payloads)]
+    with multiprocessing.Pool(processes=jobs) as pool:
+        for index, value, error, elapsed in pool.imap_unordered(
+                _execute, jobs_list):
+            outcomes[index] = PointOutcome(
+                index=index, payload=payloads[index], value=value,
+                error=error, elapsed_s=elapsed)
+            if progress is not None:
+                progress(outcomes[index])

@@ -1,0 +1,135 @@
+"""High-level harness runs: cache lookup → parallel fan-out → manifest.
+
+``run_sweep`` is the engine behind ``repro.lattester.sweep``,
+``scripts/full_sweep.py`` and ``python -m repro sweep``: it expands a
+parameter grid, satisfies every point it can from the content-addressed
+cache, fans the misses out across worker processes, and records the
+whole run — provenance included — in a :class:`RunManifest`.
+``run_experiment_cached`` is the same discipline for whole registry
+figures (used by ``scripts/regenerate_all.py``).
+"""
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro._units import KIB
+from repro.harness.cache import ResultCache
+from repro.harness.executor import PointOutcome, run_points
+from repro.harness.keys import point_key, to_jsonable
+from repro.harness.manifest import RunManifest
+
+SWEEP_EXPERIMENT = "lattester.sweep"
+
+
+def expand_grid(grid):
+    """The grid's cartesian product as a list of param dicts."""
+    keys = list(grid)
+    return [dict(zip(keys, values))
+            for values in product(*(grid[k] for k in keys))]
+
+
+def _sweep_point(payload):
+    """Measure one sweep point (module-level: must pickle to workers)."""
+    from repro.lattester.bandwidth import measure_bandwidth
+    params = dict(payload)
+    per_thread = params.pop("per_thread")
+    result = measure_bandwidth(per_thread=per_thread, **params)
+    record = dict(params)
+    record["gbps"] = result.gbps
+    record["ewr"] = result.ewr
+    record["elapsed_ns"] = result.elapsed_ns
+    return record
+
+
+@dataclass
+class SweepRun:
+    """Everything a sweep produced: ordered records plus provenance."""
+
+    records: list
+    manifest: RunManifest
+    cache: ResultCache
+
+    @property
+    def failures(self):
+        return self.manifest.failures
+
+    @property
+    def ok(self):
+        return not self.failures
+
+
+def run_sweep(grid, per_thread=64 * KIB, jobs=None, cache=None,
+              progress=None, name="sweep", version=None):
+    """Run a full sweep grid through the harness.
+
+    Returns a :class:`SweepRun` whose ``records`` are in grid order
+    regardless of worker completion order and identical between the
+    serial and parallel paths.  ``cache=None`` builds the default
+    on-disk cache; pass ``ResultCache(enabled=False)`` to force
+    recomputation.  ``progress`` receives each :class:`PointOutcome`
+    as it completes (cache hits included).
+    """
+    if cache is None:
+        cache = ResultCache()
+    points = expand_grid(grid)
+    payloads = [dict(p, per_thread=per_thread) for p in points]
+    keys = [point_key(SWEEP_EXPERIMENT, payload, version=version)
+            for payload in payloads]
+
+    manifest = RunManifest(name=name, grid=grid, jobs=jobs,
+                           version=version)
+    outcomes = [None] * len(payloads)
+    pending = []
+    for index, (payload, key) in enumerate(zip(payloads, keys)):
+        hit, record = cache.get(key)
+        if hit:
+            outcomes[index] = PointOutcome(
+                index=index, payload=payload, value=record, cached=True)
+            if progress is not None:
+                progress(outcomes[index])
+        else:
+            pending.append(index)
+
+    fresh = run_points(_sweep_point,
+                       [payloads[i] for i in pending],
+                       jobs=jobs, progress=progress)
+    for slot, outcome in zip(pending, fresh):
+        outcome.index = slot
+        outcomes[slot] = outcome
+        if outcome.ok:
+            cache.put(keys[slot], to_jsonable(outcome.value),
+                      experiment=SWEEP_EXPERIMENT,
+                      params=to_jsonable(payloads[slot]),
+                      version=version)
+
+    records = []
+    for outcome, key in zip(outcomes, keys):
+        manifest.add_point(params=outcome.payload, key=key,
+                           record=outcome.value, cached=outcome.cached,
+                           elapsed_s=outcome.elapsed_s,
+                           error=outcome.error)
+        if outcome.ok:
+            records.append(outcome.value)
+    manifest.finish(cache=cache)
+    return SweepRun(records=records, manifest=manifest, cache=cache)
+
+
+def run_experiment_cached(experiment, cache=None, version=None,
+                          **kwargs):
+    """Run one registry figure through the cache.
+
+    Returns ``(result, cached)`` where ``result`` is the figure's
+    output in JSON-able form — identical whether it was computed live
+    or replayed from cache.
+    """
+    if cache is None:
+        cache = ResultCache()
+    key = point_key("experiment:" + experiment.figure, kwargs,
+                    version=version)
+    hit, result = cache.get(key)
+    if hit:
+        return result, True
+    result = to_jsonable(experiment.run(**kwargs))
+    cache.put(key, result, experiment="experiment:" + experiment.figure,
+              params=to_jsonable(kwargs), version=version)
+    return result, False

@@ -2,14 +2,19 @@
 
 LATTester's first phase is a broad sweep over access pattern,
 operation, access size, thread count, NUMA placement and interleaving.
-``systematic_sweep`` reproduces that: it returns a flat list of records
+``sweep_grid`` reproduces that: it returns a flat list of records
 (dicts) that the targeted experiments and Figure 9's scatter are mined
 from.  Over the default grid this produces several hundred data points;
 the paper collected "over ten thousand" across both phases.
+
+Sweeps run through :mod:`repro.harness`: pass ``jobs`` to fan points
+out across worker processes and ``cache`` (or rely on the default
+on-disk cache when ``jobs`` is given) to never re-measure a point the
+harness has already seen.  The default call stays serial and uncached,
+exactly as before the harness existed.
 """
 
 import csv
-from itertools import product
 
 from repro._units import KIB
 from repro.lattester.bandwidth import measure_bandwidth
@@ -25,14 +30,50 @@ DEFAULT_GRID = {
     "threads": (1, 4, 16),
 }
 
+# The quick grid is the historical default; the full grid matches the
+# paper-scale sweep of scripts/full_sweep.py.
+QUICK_GRID = DEFAULT_GRID
 
-def sweep_grid(grid=None, per_thread=64 * KIB, progress=None):
-    """Run the full cartesian sweep; returns a list of result records."""
+FULL_GRID = {
+    "kind": ("optane", "optane-ni", "optane-remote", "dram",
+             "dram-ni", "dram-remote"),
+    "op": ("read", "ntstore", "clwb", "store"),
+    "pattern": ("seq", "rand"),
+    "access": (64, 128, 256, 512, 1024, 4096, 16384),
+    "threads": (1, 2, 4, 8, 16, 24),
+}
+
+
+def sweep_grid(grid=None, per_thread=64 * KIB, progress=None,
+               jobs=None, cache=None):
+    """Run the full cartesian sweep; returns a list of result records.
+
+    With ``jobs`` or ``cache`` unset the sweep runs serially in-process
+    with no memoization (the historical behavior).  Otherwise it runs
+    through the experiment harness: points fan out across ``jobs``
+    worker processes and previously measured points are replayed from
+    the content-addressed ``cache``.  Records are in grid order either
+    way, and a point that fails under the harness raises, matching the
+    serial path.
+    """
     grid = dict(DEFAULT_GRID if grid is None else grid)
-    keys = list(grid)
+    if jobs is None and cache is None:
+        return _sweep_serial(grid, per_thread, progress)
+    from repro.harness import run_sweep
+    run = run_sweep(grid, per_thread=per_thread, jobs=jobs, cache=cache,
+                    progress=None if progress is None
+                    else (lambda outcome: outcome.ok
+                          and progress(outcome.value)))
+    if run.failures:
+        first = run.failures[0]
+        raise RuntimeError("sweep point %s failed: %s"
+                           % (first["params"], first["error"]))
+    return run.records
+
+
+def _sweep_serial(grid, per_thread, progress):
     records = []
-    for values in product(*(grid[k] for k in keys)):
-        params = dict(zip(keys, values))
+    for params in _expand(grid):
         result = measure_bandwidth(per_thread=per_thread, **params)
         record = dict(params)
         record["gbps"] = result.gbps
@@ -42,6 +83,11 @@ def sweep_grid(grid=None, per_thread=64 * KIB, progress=None):
         if progress is not None:
             progress(record)
     return records
+
+
+def _expand(grid):
+    from repro.harness.runner import expand_grid
+    return expand_grid(grid)
 
 
 def filter_records(records, **criteria):

@@ -1,0 +1,73 @@
+"""The parallel point executor: ordering, failures, degradation."""
+
+from repro.harness import effective_jobs, run_points
+
+
+def square(payload):
+    return payload["x"] * payload["x"]
+
+
+def fail_on_three(payload):
+    if payload["x"] == 3:
+        raise ValueError("three is right out")
+    return payload["x"]
+
+
+PAYLOADS = [{"x": i} for i in range(8)]
+
+
+class TestSerial:
+    def test_results_in_payload_order(self):
+        outcomes = run_points(square, PAYLOADS, jobs=1)
+        assert [o.value for o in outcomes] == [i * i for i in range(8)]
+        assert all(o.ok for o in outcomes)
+
+    def test_point_failure_is_captured_not_raised(self):
+        outcomes = run_points(fail_on_three, PAYLOADS, jobs=1)
+        assert [o.ok for o in outcomes] == \
+            [True, True, True, False, True, True, True, True]
+        assert "three is right out" in outcomes[3].error
+        assert outcomes[3].value is None
+        assert [o.value for o in outcomes if o.ok] == \
+            [0, 1, 2, 4, 5, 6, 7]
+
+    def test_progress_sees_every_point(self):
+        seen = []
+        run_points(square, PAYLOADS, jobs=1, progress=seen.append)
+        assert len(seen) == 8
+
+
+class TestParallel:
+    def test_parallel_matches_serial_order(self):
+        serial = run_points(square, PAYLOADS, jobs=1)
+        parallel = run_points(square, PAYLOADS, jobs=2)
+        assert [o.value for o in serial] == [o.value for o in parallel]
+
+    def test_parallel_captures_failures(self):
+        outcomes = run_points(fail_on_three, PAYLOADS, jobs=2)
+        assert not outcomes[3].ok
+        assert "three is right out" in outcomes[3].error
+        assert sum(o.ok for o in outcomes) == 7
+
+    def test_unpicklable_worker_degrades_to_serial(self):
+        # A lambda cannot be pickled to a worker process; the run must
+        # degrade to in-process serial execution, not crash.
+        outcomes = run_points(lambda p: p["x"] + 1, PAYLOADS, jobs=2)
+        assert [o.value for o in outcomes] == list(range(1, 9))
+
+
+class TestEffectiveJobs:
+    def test_explicit_wins(self):
+        assert effective_jobs(4, points=100) == 4
+
+    def test_capped_by_point_count(self):
+        assert effective_jobs(16, points=3) == 3
+
+    def test_never_below_one(self):
+        assert effective_jobs(0, points=10) == 1
+        assert effective_jobs(None, points=0) == 1
+
+    def test_default_is_cpu_count(self):
+        import os
+        assert effective_jobs(None, points=10**6) == \
+            (os.cpu_count() or 1)

@@ -1,0 +1,114 @@
+"""Run manifests and the regression comparator."""
+
+from repro.harness import (
+    RunManifest, compare_manifests, numeric_leaves,
+)
+
+
+def _manifest(points, name="run"):
+    manifest = RunManifest(name=name, grid={"threads": [1, 4]})
+    for params, record in points:
+        manifest.add_point(params=params, record=record)
+    return manifest.finish()
+
+
+BASE = [
+    ({"threads": 1}, {"gbps": 2.0, "ewr": 1.0}),
+    ({"threads": 4}, {"gbps": 6.0, "ewr": 0.9}),
+]
+
+
+class TestManifest:
+    def test_save_load_roundtrip(self, tmp_path):
+        manifest = _manifest(BASE)
+        path = manifest.save(str(tmp_path / "runs" / "a.json"))
+        back = RunManifest.load(path)
+        assert back.name == "run"
+        assert back.grid == {"threads": [1, 4]}
+        assert len(back.points) == 2
+        assert back.points[0]["record"]["gbps"] == 2.0
+        assert back.wall_s is not None
+
+    def test_failures_and_hit_rate(self):
+        manifest = RunManifest(name="r")
+        manifest.add_point(params={"x": 1}, record={"v": 1}, cached=True)
+        manifest.add_point(params={"x": 2}, error="boom")
+        assert len(manifest.failures) == 1
+        assert manifest.hit_rate() == 0.5
+
+    def test_finish_records_cache_stats(self, tmp_path):
+        from repro.harness import ResultCache
+        cache = ResultCache(root=str(tmp_path / "c"))
+        cache.get("0" * 64)                      # one miss
+        manifest = RunManifest(name="r").finish(cache=cache)
+        assert manifest.cache_stats == {
+            "hits": 0, "misses": 1, "hit_rate": 0.0}
+
+
+class TestNumericLeaves:
+    def test_flattens_nested_structures(self):
+        leaves = numeric_leaves(
+            {"a": 1, "b": {"c": 2.5}, "d": [3, {"e": 4}],
+             "s": "text", "f": True})
+        assert leaves == {"a": 1.0, "b.c": 2.5, "d[0]": 3.0,
+                          "d[1].e": 4.0}
+
+
+class TestCompare:
+    def test_identical_runs_are_clean(self):
+        comparison = compare_manifests(_manifest(BASE), _manifest(BASE))
+        assert comparison.clean
+        assert comparison.matched == 2
+
+    def test_drift_beyond_tolerance_is_flagged(self):
+        drifted = [
+            ({"threads": 1}, {"gbps": 2.0, "ewr": 1.0}),
+            ({"threads": 4}, {"gbps": 4.0, "ewr": 0.9}),   # -33%
+        ]
+        comparison = compare_manifests(_manifest(BASE),
+                                       _manifest(drifted),
+                                       tolerance=0.05)
+        assert len(comparison.drifts) == 1
+        drift = comparison.drifts[0]
+        assert drift.metric == "gbps"
+        assert drift.params == {"threads": 4}
+        assert drift.rel < 0
+        assert not comparison.clean
+        assert "DRIFT" in comparison.summary()
+
+    def test_drift_within_tolerance_passes(self):
+        close = [
+            ({"threads": 1}, {"gbps": 2.02, "ewr": 1.0}),
+            ({"threads": 4}, {"gbps": 6.1, "ewr": 0.9}),
+        ]
+        assert compare_manifests(_manifest(BASE), _manifest(close),
+                                 tolerance=0.05).clean
+
+    def test_added_and_removed_points_are_reported(self):
+        extra = BASE + [({"threads": 16}, {"gbps": 3.0, "ewr": 0.5})]
+        comparison = compare_manifests(_manifest(BASE), _manifest(extra))
+        assert comparison.only_b == [{"threads": 16}]
+        assert not comparison.clean
+        reverse = compare_manifests(_manifest(extra), _manifest(BASE))
+        assert reverse.only_a == [{"threads": 16}]
+
+    def test_error_state_change_is_reported(self):
+        ok = RunManifest(name="a")
+        ok.add_point(params={"x": 1}, record={"v": 1})
+        bad = RunManifest(name="b")
+        bad.add_point(params={"x": 1}, error="boom")
+        comparison = compare_manifests(ok.finish(), bad.finish())
+        assert comparison.errors_changed == [{"x": 1}]
+
+    def test_wall_clock_noise_is_ignored(self):
+        a = [({"x": 1}, {"gbps": 1.0, "elapsed_s": 0.1, "wall_s": 9})]
+        b = [({"x": 1}, {"gbps": 1.0, "elapsed_s": 99.0, "wall_s": 1})]
+        assert compare_manifests(_manifest(a), _manifest(b)).clean
+
+    def test_accepts_plain_dicts(self, tmp_path):
+        a = _manifest(BASE)
+        path = a.save(str(tmp_path / "a.json"))
+        import json
+        with open(path) as fh:
+            raw = json.load(fh)
+        assert compare_manifests(raw, a).clean

@@ -82,9 +82,11 @@ class TestCLI:
         assert rc == 0
         assert "XPBuffer" in capsys.readouterr().out
 
-    def test_unknown_figure_raises(self):
-        with pytest.raises(KeyError):
-            main(["run", "fig99"])
+    def test_unknown_figure_exits_2_with_figure_list(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown figure" in err
+        assert "fig2" in err and "fig19" in err
 
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
