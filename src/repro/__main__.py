@@ -7,6 +7,7 @@ Commands:
 * ``sweep [--quick] ...`` — the systematic sweep through the harness
 * ``cache stats|clear``   — inspect or empty the result cache
 * ``compare a b``         — diff two run manifests for metric drift
+* ``faults run [...]``    — chaos matrix: crash x tear x poison sweep
 * ``calibrate``           — the headline paper-vs-measured numbers
 * ``guidelines``          — print the four best practices
 * ``audit --access N ...``— audit an access pattern against them
@@ -125,6 +126,55 @@ def cmd_compare(args):
     return 0 if comparison.clean else 1
 
 
+def cmd_faults(args):
+    import time
+
+    from repro.faults.chaos import run_chaos
+
+    started = time.time()
+    done = [0]
+
+    def progress(_outcome):
+        done[0] += 1
+        if done[0] % 25 == 0:
+            rate = done[0] / max(time.time() - started, 1e-9)
+            print("  %5d cases  (%.1f cases/s)" % (done[0], rate))
+
+    run = run_chaos(quick=args.quick, seed=args.seed, jobs=args.jobs,
+                    naive=args.naive, progress=progress,
+                    timeout_s=args.timeout, retries=args.retries)
+    run.manifest.save(args.out)
+    crashed = sum(1 for o in run.outcomes
+                  if o.value and o.value["crashed"])
+    torn = sum(o.value["torn_chunks"] for o in run.outcomes if o.value)
+    lossy = sum(1 for o in run.outcomes
+                if o.value and o.value["report"]
+                and o.value["report"]["lost"])
+    print("%d cases: %d crashed, %d torn chunks, %d with data loss "
+          "reported; manifest -> %s"
+          % (run.cases, crashed, torn, lossy, args.out))
+    status = 0
+    if run.failures:
+        print("ERROR: %d case(s) failed to execute" % len(run.failures),
+              file=sys.stderr)
+        for outcome in run.failures[:10]:
+            print("  %s: %s" % (outcome.payload, outcome.error),
+                  file=sys.stderr)
+        status = 1
+    if run.violations:
+        print("%d invariant violation(s):%s"
+              % (len(run.violations),
+                 " (expected: --naive disables CRCs)"
+                 if args.naive else ""),
+              file=sys.stderr)
+        for v in run.violations[:20]:
+            print("  [%s crash=%s tear=%s poison=%s] %s"
+                  % (v["workload"], v["crash_at"], v["tear"],
+                     v["poison_site"], v["violation"]), file=sys.stderr)
+        status = 1
+    return status
+
+
 def _pretty(result, indent="  "):
     if isinstance(result, dict):
         for key, value in result.items():
@@ -224,6 +274,24 @@ def build_parser():
     compare.add_argument("--tolerance", type=float, default=0.05,
                          help="max relative drift per metric "
                               "(default: 0.05)")
+    faults = sub.add_parser(
+        "faults", help="fault-injection chaos matrix")
+    faults.add_argument("action", choices=("run",))
+    faults.add_argument("--quick", action="store_true",
+                        help="sampled matrix for smoke runs")
+    faults.add_argument("--seed", type=int, default=0,
+                        help="fault-injector seed (default: 0)")
+    faults.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: one per CPU)")
+    faults.add_argument("--out", default="faults.manifest.json",
+                        help="manifest path")
+    faults.add_argument("--naive", action="store_true",
+                        help="replay WALs without CRCs (expected to "
+                             "surface violations)")
+    faults.add_argument("--timeout", type=float, default=120.0,
+                        help="per-case timeout in seconds")
+    faults.add_argument("--retries", type=int, default=1,
+                        help="retries per timed-out case")
     sub.add_parser("calibrate", help="paper-vs-measured headline numbers")
     sub.add_parser("guidelines", help="print the four best practices")
     audit = sub.add_parser("audit", help="audit an access pattern")
@@ -252,6 +320,7 @@ def main(argv=None):
         "sweep": cmd_sweep,
         "cache": cmd_cache,
         "compare": cmd_compare,
+        "faults": cmd_faults,
         "guidelines": cmd_guidelines,
         "audit": cmd_audit,
     }

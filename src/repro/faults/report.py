@@ -1,0 +1,66 @@
+"""Recovery reports: the honest accounting of what a crash cost.
+
+Every recovery path in the stack (WAL replay, SSTable open, NOVA log
+scan, PMDK undo-log rollback) fills one of these instead of silently
+succeeding or raising: how many records came back intact, how many
+were truncated at a torn tail (expected crash semantics — the data
+never fully reached the media), and how many were *lost* to media
+faults (poisoned XPLines, unreadable log pages).  Truncation is the
+contract working as designed; loss is real damage the caller must know
+about.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of one recovery pass over one persistent structure."""
+
+    component: str = ""
+    recovered: int = 0        # records/entries intact and applied
+    truncated: int = 0        # torn-tail records dropped (crash semantics)
+    lost: int = 0             # records destroyed by media faults
+    lost_keys: list = field(default_factory=list)
+    details: list = field(default_factory=list)
+
+    @property
+    def clean(self):
+        """True when recovery saw neither truncation nor loss."""
+        return self.truncated == 0 and self.lost == 0
+
+    @property
+    def data_loss(self):
+        """True when media faults destroyed data (beyond crash semantics)."""
+        return self.lost > 0
+
+    def note(self, message):
+        self.details.append(message)
+
+    def merge(self, other, prefix=None):
+        """Fold a sub-report (e.g. one SSTable) into this aggregate."""
+        if other is None:
+            return self
+        self.recovered += other.recovered
+        self.truncated += other.truncated
+        self.lost += other.lost
+        self.lost_keys.extend(other.lost_keys)
+        tag = prefix if prefix is not None else other.component
+        for detail in other.details:
+            self.details.append("%s: %s" % (tag, detail) if tag else detail)
+        return self
+
+    def to_dict(self):
+        return {
+            "component": self.component,
+            "recovered": self.recovered,
+            "truncated": self.truncated,
+            "lost": self.lost,
+            "lost_keys": [repr(k) for k in self.lost_keys],
+            "details": list(self.details),
+        }
+
+    def summary(self):
+        return ("%s: %d recovered, %d truncated, %d lost"
+                % (self.component or "recovery", self.recovered,
+                   self.truncated, self.lost))

@@ -19,6 +19,7 @@ import struct
 import zlib
 
 from repro._units import CACHELINE, align_up
+from repro.faults.model import tolerant_read
 from repro.fs.layout import PAGE, split_gaddr
 
 LOG_PAGE_HEADER = 64
@@ -151,12 +152,19 @@ class InodeLog:
         self.tail_page = new_page
         self.tail_off = LOG_PAGE_HEADER
 
-    def scan_persistent(self):
+    def scan_persistent(self, report=None):
         """Recovery: yield decoded entries from the persistent view.
 
         As a side effect (recovery runs this on a fresh handle) the
         log's tail position and ``pages_seen`` are restored, so appends
         can resume and the allocator can re-reserve the chain's pages.
+
+        Tolerates media faults: a torn tail entry truncates the log, a
+        poisoned XPLine inside a page loses the entries it covers (the
+        scan resyncs at the next 64 B-aligned intact entry), and a
+        poisoned next-pointer loses the rest of the chain.  ``report``
+        (a :class:`~repro.faults.report.RecoveryReport`) collects the
+        accounting when provided.
         """
         page = self.head
         seen = set()
@@ -168,14 +176,40 @@ class InodeLog:
                 break                      # corrupt chain pointer: stop
             self.pages_seen.append(page)
             ns = self.fs.devices[dev]
-            raw = ns.read_persistent(off, PAGE)
+            raw, lost = tolerant_read(ns, off, PAGE)
             pos = LOG_PAGE_HEADER
-            while True:
+            while pos <= PAGE - ENTRY_SIZE:
                 decoded = decode_entry(raw, pos)
-                if decoded is None:
-                    break
-                entry, pos = decoded
-                yield entry
+                if decoded is not None:
+                    entry, pos = decoded
+                    if report is not None:
+                        report.recovered += 1
+                    yield entry
+                    continue
+                hole = next(((lo, ll) for lo, ll in lost
+                             if lo + ll > pos), None)
+                if hole is not None:
+                    if report is not None:
+                        report.lost += 1
+                        report.note("log page %#x: hole at +%d (%d bytes)"
+                                    % (page, hole[0], hole[1]))
+                    pos = align_up(max(hole[0] + hole[1], pos + 1),
+                                   CACHELINE)
+                    while pos <= PAGE - ENTRY_SIZE and \
+                            decode_entry(raw, pos) is None:
+                        pos += CACHELINE
+                    continue
+                if report is not None and any(raw[pos:]):
+                    report.truncated += 1
+                    report.note("log page %#x: torn entry truncated at +%d"
+                                % (page, pos))
+                break
             self.tail_page = page
             self.tail_off = pos
+            if any(lo + ll > 0 and lo < 8 for lo, ll in lost):
+                if report is not None:
+                    report.lost += 1
+                    report.note("log page %#x: next-pointer unreadable, "
+                                "chain abandoned" % page)
+                break
             page = struct.unpack_from("<Q", raw, 0)[0]

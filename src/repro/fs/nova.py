@@ -15,6 +15,8 @@ structures on mount.
 import struct
 import zlib
 
+from repro.faults.model import MediaError
+from repro.faults.report import RecoveryReport
 from repro.fs.layout import (
     INODE_TABLE_PAGE, PAGE, AllocationPolicy, PageAllocator, make_gaddr,
     split_gaddr,
@@ -67,6 +69,7 @@ class NovaFS:
             pinned=pinned)
         self._files = {}
         self._next_inode = 1
+        self.recovery_report = None     # set by _recover()
         if _mount:
             self._recover()
 
@@ -271,17 +274,31 @@ class NovaFS:
 
     def _recover(self):
         ns = self.devices[0]
+        report = RecoveryReport(component="nova")
         for inode in range(1, MAX_INODES):
-            raw = ns.read_persistent(self._slot_addr(inode),
-                                     INODE_SLOT_SIZE)
+            try:
+                raw = ns.read_persistent(self._slot_addr(inode),
+                                         INODE_SLOT_SIZE)
+            except MediaError:
+                report.lost += 1
+                report.note("inode %d: slot unreadable, file lost" % inode)
+                continue
             head, tail_page, tail_off, crc = _INODE_SLOT.unpack_from(raw)
             body = raw[:_INODE_SLOT.size - 4]
             if head == 0 or zlib.crc32(body) & 0xFFFFFFFF != crc:
+                if any(raw):
+                    # Non-empty slot failing its CRC = torn inode
+                    # commit: expected crash semantics (the file keeps
+                    # its pre-crash state if an older intact slot
+                    # version exists; here slots are overwritten in
+                    # place, so a torn slot drops the file).
+                    report.truncated += 1
+                    report.note("inode %d: torn slot dropped" % inode)
                 continue
             log = InodeLog(self, head)
             f = NovaFile(self, inode, log)
             applied = 0
-            for entry in log.scan_persistent():
+            for entry in log.scan_persistent(report=report):
                 applied += 1
                 if entry["type"] == WRITE_ENTRY:
                     f.pages[entry["pgoff"]] = entry["page_gaddr"]
@@ -307,6 +324,7 @@ class NovaFS:
             for gaddr in list(f.pages.values()) + log.pages_seen:
                 dev, _ = split_gaddr(gaddr)
                 self.policy.allocators[dev].reserve(gaddr)
+        self.recovery_report = report
 
     def read_persistent_file(self, inode, offset, size):
         """Post-crash file contents without simulated cost (test aid)."""

@@ -7,9 +7,14 @@ its own provenance (experiment, params, version) so ``cache stats`` can
 summarize the store and a human can audit any entry.
 
 A corrupt or truncated artifact is treated as a miss and deleted — the
-cache must never be able to crash an experiment.
+cache must never be able to crash an experiment.  Every artifact
+carries a SHA-256 over its canonicalized result, verified on load, so
+silent corruption *inside* a syntactically valid JSON file (flipped
+digit, truncated-then-patched file) is also caught, not just parse
+errors.
 """
 
+import hashlib
 import json
 import os
 import tempfile
@@ -17,6 +22,12 @@ import tempfile
 DEFAULT_CACHE_DIR = ".repro-cache"
 
 _MISS = object()
+
+
+def result_digest(result):
+    """SHA-256 of the canonical JSON encoding of a result payload."""
+    blob = json.dumps(result, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def cache_dir(root=None):
@@ -66,10 +77,16 @@ class ResultCache:
         try:
             with open(path) as fh:
                 envelope = json.load(fh)
-            return envelope["result"]
+            result = envelope["result"]
+            # Envelopes without a digest (pre-checksum artifacts) are
+            # treated as corrupt too: dropped and recomputed once.
+            if envelope["sha256"] != result_digest(result):
+                raise ValueError("artifact checksum mismatch")
+            return result
         except FileNotFoundError:
             return _MISS
-        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                OSError):
             # Corrupt artifact: drop it so the rerun can repopulate.
             try:
                 os.unlink(path)
@@ -92,6 +109,7 @@ class ResultCache:
             "params": params,
             "version": version,
             "result": result,
+            "sha256": result_digest(result),
         }
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
                                    suffix=".tmp")

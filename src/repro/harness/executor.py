@@ -5,10 +5,15 @@ machine — so they fan out across worker processes.  Results are
 reassembled in submission order no matter which worker finished first,
 keeping parallel output bit-identical to serial output.
 
-Failure handling is two-level:
+Failure handling is three-level:
 
 * a point that *raises* is captured as a failed :class:`PointOutcome`
   (the sweep keeps going and the caller decides the exit code);
+* with ``timeout_s`` set, a point whose worker hangs or dies is torn
+  down at its deadline and retried up to ``retries`` times on a fresh
+  pool; a point that exhausts its retries becomes a failed outcome —
+  it is *not* replayed serially in-process, because a genuinely hung
+  workload would wedge the whole sweep;
 * a *pool* that cannot be used at all (unpicklable worker, fork
   failure, resource limits) degrades the whole run to in-process
   serial execution rather than aborting.
@@ -61,7 +66,8 @@ def _execute(job):
         return index, None, error, time.perf_counter() - started
 
 
-def run_points(func, payloads, jobs=None, progress=None):
+def run_points(func, payloads, jobs=None, progress=None, timeout_s=None,
+               retries=1):
     """Execute ``func(payload)`` for every payload, possibly in parallel.
 
     Returns a list of :class:`PointOutcome` in payload order.  ``func``
@@ -69,13 +75,22 @@ def run_points(func, payloads, jobs=None, progress=None):
     anything else silently degrades to serial.  ``progress`` is called
     with each outcome as it completes (completion order, not payload
     order).
+
+    ``timeout_s`` sets a per-job wall-clock deadline: a job that is not
+    done by then (hung loop, killed worker) is abandoned, its pool torn
+    down, and the job resubmitted on a fresh pool up to ``retries``
+    extra times before it becomes a failed outcome.
     """
     payloads = list(payloads)
     jobs = effective_jobs(jobs, len(payloads))
     outcomes = [None] * len(payloads)
-    if jobs > 1:
+    if jobs > 1 or timeout_s is not None:
         try:
-            _run_pool(func, payloads, jobs, outcomes, progress)
+            if timeout_s is None:
+                _run_pool(func, payloads, jobs, outcomes, progress)
+            else:
+                _run_pool_deadline(func, payloads, jobs, outcomes,
+                                   progress, timeout_s, retries)
         except Exception:
             # Pool-level failure: fall back to serial for whatever the
             # pool did not finish.
@@ -101,3 +116,73 @@ def _run_pool(func, payloads, jobs, outcomes, progress):
                 error=error, elapsed_s=elapsed)
             if progress is not None:
                 progress(outcomes[index])
+
+
+#: Deadline-polling granularity (seconds).
+_POLL_S = 0.02
+
+
+def _run_pool_deadline(func, payloads, jobs, outcomes, progress,
+                       timeout_s, retries):
+    """apply_async + polling: every job gets its own deadline.
+
+    ``multiprocessing.Pool`` cannot cancel one task, so an expired job
+    terminates the whole pool; innocent in-flight jobs are requeued
+    without being charged an attempt, the expired one with attempt+1.
+    A worker killed by a signal looks identical to a hang (its
+    AsyncResult never becomes ready) and takes the same path.
+    """
+    pending = [(i, 0) for i in range(len(payloads))]   # (index, attempt)
+    running = {}                  # index -> (AsyncResult, deadline, attempt)
+
+    def finish(index, value, error, elapsed):
+        outcomes[index] = PointOutcome(
+            index=index, payload=payloads[index], value=value,
+            error=error, elapsed_s=elapsed)
+        if progress is not None:
+            progress(outcomes[index])
+
+    pool = multiprocessing.Pool(processes=jobs)
+    try:
+        while pending or running:
+            while pending and len(running) < jobs:
+                index, attempt = pending.pop(0)
+                result = pool.apply_async(
+                    _execute, ((index, func, payloads[index]),))
+                running[index] = (result, time.monotonic() + timeout_s,
+                                  attempt)
+            expired = None
+            for index, (result, deadline, attempt) in list(running.items()):
+                if result.ready():
+                    del running[index]
+                    try:
+                        _, value, error, elapsed = result.get()
+                    except Exception as exc:
+                        value, elapsed = None, 0.0
+                        error = "".join(traceback.format_exception_only(
+                            type(exc), exc)).strip()
+                    finish(index, value, error, elapsed)
+                elif time.monotonic() > deadline:
+                    expired = index
+                    break
+            if expired is not None:
+                _, _, attempt = running.pop(expired)
+                if attempt >= retries:
+                    finish(expired, None,
+                           "timed out after %.1fs (attempt %d of %d)"
+                           % (timeout_s, attempt + 1, retries + 1),
+                           timeout_s)
+                else:
+                    pending.insert(0, (expired, attempt + 1))
+                for index, (_, _, attempt) in running.items():
+                    pending.append((index, attempt))
+                running.clear()
+                pool.terminate()
+                pool.join()
+                pool = multiprocessing.Pool(processes=jobs)
+                continue
+            if running:
+                time.sleep(_POLL_S)
+    finally:
+        pool.terminate()
+        pool.join()

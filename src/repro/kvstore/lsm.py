@@ -14,6 +14,8 @@ crash-recovers via :meth:`LSMStore.recover`.
 """
 
 from repro._units import KIB, MIB, align_up
+from repro.faults.model import MediaError
+from repro.faults.report import RecoveryReport
 from repro.kvstore.manifest import Manifest
 from repro.kvstore.memtable import VolatileMemtable
 from repro.kvstore.persistent_skiplist import PersistentSkipList
@@ -42,7 +44,7 @@ class LSMStore:
 
     def __init__(self, machine, mode="wal-flex", kind="optane",
                  memtable_bytes=DEFAULT_MEMTABLE_BYTES, seed=0,
-                 _recovering=False):
+                 naive=False, _recovering=False):
         if mode not in MODES:
             raise ValueError("unknown mode %r (choose from %s)"
                              % (mode, ", ".join(MODES)))
@@ -51,10 +53,13 @@ class LSMStore:
         self.ns = machine.namespace(kind)
         self.memtable_bytes = memtable_bytes
         self.seed = seed
+        self.naive = naive           # CRC-less WAL replay (demo mode)
         self.manifest = Manifest(self.ns, MANIFEST_BASE)
         self.tables = []             # [(level, SSTable)] newest L0 first
         self._next_table_base = TABLES_BASE
         self._arena_epoch = 0
+        self.recovery_report = None  # set by recover()
+        self.degraded_reads = 0      # gets answered despite MediaError
         if not _recovering:
             self._fresh_memtable()
 
@@ -71,7 +76,8 @@ class LSMStore:
             self.memtable = VolatileMemtable(
                 seed=self.seed + self._arena_epoch)
             wal_cls = WalPosix if self.mode == "wal-posix" else WalFlex
-            self.wal = wal_cls(self.ns, WAL_BASE, WAL_CAPACITY)
+            self.wal = wal_cls(self.ns, WAL_BASE, WAL_CAPACITY,
+                               naive=self.naive)
         self._arena_epoch += 1
 
     # -- client operations -------------------------------------------------------
@@ -100,12 +106,23 @@ class LSMStore:
         """Point lookup: memtable, then tables newest-first.
 
         A tombstone anywhere shadows older versions (returns None).
+        A :class:`MediaError` on one level degrades to the next-older
+        version instead of crashing the read (counted in
+        ``degraded_reads``); data behind poison is reported missing.
         """
-        found, value = self.memtable.lookup(thread, key)
+        try:
+            found, value = self.memtable.lookup(thread, key)
+        except MediaError:
+            self.degraded_reads += 1
+            found = False
         if found:
             return value
         for _, table in self.tables:
-            found, value = table.lookup(thread, key)
+            try:
+                found, value = table.lookup(thread, key)
+            except MediaError:
+                self.degraded_reads += 1
+                continue
             if found:
                 return value
         return None
@@ -189,36 +206,95 @@ class LSMStore:
 
     @classmethod
     def recover(cls, machine, mode="wal-flex", kind="optane", seed=0,
-                memtable_bytes=DEFAULT_MEMTABLE_BYTES):
-        """Rebuild a store from the namespace's persistent contents."""
+                memtable_bytes=DEFAULT_MEMTABLE_BYTES, naive=False):
+        """Rebuild a store from the namespace's persistent contents.
+
+        Recovery degrades gracefully under media faults: torn tails are
+        truncated, poisoned tables/log regions are skipped, and the
+        whole accounting lands in ``store.recovery_report`` instead of
+        an exception (or a silent success).
+        """
         store = cls(machine, mode=mode, kind=kind, seed=seed,
-                    memtable_bytes=memtable_bytes, _recovering=True)
-        _, entries = store.manifest.load()
+                    memtable_bytes=memtable_bytes, naive=naive,
+                    _recovering=True)
+        report = RecoveryReport(component="lsm[%s]" % mode)
+        try:
+            _, entries = store.manifest.load()
+        except MediaError:
+            entries = []
+            report.lost += 1
+            report.note("manifest unreadable: table set lost")
         for base, size, level in entries:
-            store.tables.append((level, SSTable.open(store.ns, base, size)))
+            table, table_report = SSTable.open_report(store.ns, base, size)
+            report.merge(table_report)
+            if table is not None:
+                store.tables.append((level, table))
             end = align_up(base + size, 4 * KIB)
             if end > store._next_table_base:
                 store._next_table_base = end
         store.tables.sort(key=lambda t: (t[0], -t[1].base))
         if mode == "persistent-memtable":
             # Either arena may hold the live memtable; pick the fuller.
-            candidates = [
-                PersistentSkipList.recover(
-                    store.ns, ARENA_BASE + half * (ARENA_CAPACITY // 2),
-                    ARENA_CAPACITY // 2)
-                for half in (0, 1)
-            ]
+            candidates = []
+            for half in (0, 1):
+                arena = ARENA_BASE + half * (ARENA_CAPACITY // 2)
+                try:
+                    candidates.append(PersistentSkipList.recover(
+                        store.ns, arena, ARENA_CAPACITY // 2))
+                except MediaError:
+                    report.lost += 1
+                    report.note("memtable arena %d unreadable" % half)
+            if not candidates:
+                candidates = [PersistentSkipList(
+                    store.ns, ARENA_BASE, ARENA_CAPACITY // 2, seed=seed)]
             store.memtable = max(candidates, key=len)
+            report.recovered += len(store.memtable)
             store.wal = None
         else:
             store.memtable = VolatileMemtable(seed=seed)
             wal_cls = WalPosix if mode == "wal-posix" else WalFlex
-            store.wal = wal_cls(store.ns, WAL_BASE, WAL_CAPACITY)
+            store.wal = wal_cls(store.ns, WAL_BASE, WAL_CAPACITY,
+                                naive=naive)
             replay_thread = machine.thread()
-            for key, value in store.wal.replay():
+            replayed, wal_report = store.wal.replay_report()
+            report.merge(wal_report)
+            for key, value in replayed:
                 store.memtable.put(replay_thread, key, value)
         store._arena_epoch = 2
+        store.recovery_report = report
         return store
+
+    def scrub(self, thread, repair=False):
+        """Verify every SSTable record; report (and optionally repair).
+
+        Walks each table's persistent bytes, counting intact, torn and
+        poisoned records.  With ``repair=True`` every damaged table is
+        rewritten from its surviving records at a fresh base address
+        (read-repair) and the manifest recommitted, so later reads no
+        longer touch poisoned lines.
+        """
+        report = RecoveryReport(component="lsm-scrub")
+        rebuilt = []
+        changed = False
+        for level, table in self.tables:
+            pairs, table_report = table.scrub()
+            report.merge(table_report)
+            if repair and not table_report.clean:
+                pairs.sort(key=lambda kv: kv[0])
+                fresh = SSTable.build(self.ns, thread,
+                                      self._next_table_base, pairs)
+                self._next_table_base = align_up(
+                    self._next_table_base + fresh.size, 4 * KIB)
+                rebuilt.append((level, fresh))
+                changed = True
+                report.note("rebuilt table @%#x -> @%#x"
+                            % (table.base, fresh.base))
+            else:
+                rebuilt.append((level, table))
+        if changed:
+            self.tables = rebuilt
+            self._commit_manifest(thread)
+        return report
 
     # -- introspection ------------------------------------------------------------------
 

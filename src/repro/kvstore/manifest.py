@@ -9,6 +9,8 @@ fixed-size record, which suffices here because tables are few).
 import struct
 import zlib
 
+from repro.faults.model import tolerant_read
+
 _SLOT_HEADER = struct.Struct("<IQI")      # crc | seq | count
 _ENTRY = struct.Struct("<QQQ")            # base | size | level
 SLOT_SIZE = 4096
@@ -50,7 +52,11 @@ class Manifest:
         """
         best_seq, best = 0, []
         for slot in (self.base, self.base + SLOT_SIZE):
-            raw = self.ns.read_persistent(slot, SLOT_SIZE)
+            # A poisoned slot must not take the other one down with it:
+            # read tolerantly and let the CRC reject the zeroed bytes.
+            raw, lost = tolerant_read(self.ns, slot, SLOT_SIZE)
+            if lost and not any(raw):
+                continue
             crc = struct.unpack_from("<I", raw)[0]
             seq, count = struct.unpack_from("<QI", raw, 4)
             body_len = 12 + count * _ENTRY.size

@@ -37,12 +37,17 @@ def encoded_size(key, value):
     return HEADER_SIZE + len(key) + len(value or b"")
 
 
-def decode(buf, offset=0):
+def decode(buf, offset=0, verify_crc=True):
     """Decode one record at ``offset``.
 
     Returns ``(key, value, next_offset)`` — ``value is None`` for a
     tombstone — or None if the bytes do not form a valid record (torn
     write, zeroed space, corruption).
+
+    ``verify_crc=False`` is the deliberately *naive* mode: it trusts
+    any length-plausible header, so torn or corrupt records decode into
+    garbage.  It exists so the fault matrix can demonstrate that it
+    catches exactly the corruption CRCs prevent.
     """
     if offset + HEADER_SIZE > len(buf):
         return None
@@ -52,7 +57,9 @@ def decode(buf, offset=0):
     if end > len(buf):
         return None
     body = bytes(buf[offset + 4:end])
-    if crc != (zlib.crc32(body) & 0xFFFFFFFF):
+    if crc == 0 and not any(body):
+        return None                  # zeroed space, in any mode
+    if verify_crc and crc != (zlib.crc32(body) & 0xFFFFFFFF):
         return None
     key = body[6:6 + klen]
     value = body[6 + klen:]

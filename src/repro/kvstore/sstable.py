@@ -14,6 +14,8 @@ lookups for absent keys, as in LevelDB/RocksDB.
 
 import struct
 
+from repro.faults.model import tolerant_read
+from repro.faults.report import RecoveryReport
 from repro.kvstore import records
 from repro.kvstore.bloom import BloomFilter
 
@@ -25,6 +27,43 @@ _OFFSET = struct.Struct("<Q")
 
 #: Sparse index granularity: one index entry per this many records.
 INDEX_EVERY = 8
+
+
+def _tolerant_entries(blob, data_size, lost):
+    """Scan the data area, skipping records destroyed by media faults.
+
+    Returns ``([(offset, key, value)], RecoveryReport)``.  After an
+    unreadable hole the scanner resyncs byte-wise on the next offset
+    whose record decodes with a valid CRC (records are unaligned, but
+    a 32-bit CRC makes false resyncs vanishingly unlikely).
+    """
+    report = RecoveryReport(component="sstable")
+    entries = []
+    offset = 0
+    while offset < data_size:
+        rec = records.decode(blob, offset)
+        if rec is not None:
+            key, value, end = rec
+            entries.append((offset, key, value))
+            report.recovered += 1
+            offset = end
+            continue
+        hole = next(((lo, ll) for lo, ll in lost
+                     if lo + ll > offset and lo < data_size), None)
+        if hole is None:
+            if any(blob[offset:data_size]):
+                report.truncated += 1
+                report.note("undecodable data truncated at +%d" % offset)
+            break
+        report.lost += 1
+        report.note("unreadable hole at +%d (%d bytes)" % hole)
+        pos = max(hole[0] + hole[1], offset + 1)
+        while pos < data_size and records.decode(blob, pos) is None:
+            pos += 1
+        if pos >= data_size:
+            break
+        offset = pos
+    return entries, report
 
 
 class SSTable:
@@ -96,6 +135,39 @@ class SSTable:
             largest = key
         return cls(ns, base, size, index, bloom, smallest, largest)
 
+    @classmethod
+    def open_report(cls, ns, base, size):
+        """Fault-tolerant re-open: ``(table_or_None, RecoveryReport)``.
+
+        Poisoned XPLines inside the data area cost only the records
+        they cover (the index and Bloom filter are rebuilt from the
+        surviving records); a destroyed footer loses the whole table.
+        """
+        report = RecoveryReport(component="sstable@%#x" % base)
+        blob, lost = tolerant_read(ns, base, size)
+        footer_off = size - _FOOTER.size
+        data_size, _, magic = _FOOTER.unpack_from(blob, footer_off)
+        if magic != _MAGIC or data_size > footer_off:
+            if any(lo + ll > footer_off for lo, ll in lost):
+                report.lost += 1
+                report.note("footer unreadable: table lost")
+            else:
+                report.truncated += 1
+                report.note("bad footer magic: table dropped")
+            return None, report
+        entries, scan_report = _tolerant_entries(blob, data_size, lost)
+        report.merge(scan_report, prefix="")
+        index = []
+        bloom = BloomFilter(capacity=max(16, len(entries)))
+        for i, (offset, key, _value) in enumerate(entries):
+            if i % INDEX_EVERY == 0:
+                index.append((key, offset))
+            bloom.add(key)
+        smallest = entries[0][1] if entries else b""
+        largest = entries[-1][1] if entries else b""
+        table = cls(ns, base, size, index, bloom, smallest, largest)
+        return table, report
+
     # -- lookups -----------------------------------------------------------------
 
     def may_contain(self, key):
@@ -139,7 +211,32 @@ class SSTable:
         return False, None
 
     def items(self):
-        """All pairs, decoded from the volatile view."""
-        blob = self.ns.read_volatile(self.base, self.size)
+        """All surviving pairs, decoded from the volatile view.
+
+        Records behind poisoned XPLines are skipped (scrub/compaction
+        must keep working on a degraded table); use :meth:`scrub` to
+        account for what was lost.
+        """
+        blob, lost = tolerant_read(self.ns, self.base, self.size,
+                                   view="volatile")
         data_size, _, _ = _FOOTER.unpack_from(blob, self.size - _FOOTER.size)
-        return list(records.scan(blob[:data_size]))
+        entries, _ = _tolerant_entries(blob, data_size, lost)
+        return [(key, value) for _, key, value in entries]
+
+    def scrub(self):
+        """Verify every record against media faults and CRCs.
+
+        Returns ``(surviving_pairs, RecoveryReport)`` from the
+        persistent view — the honest post-crash contents.
+        """
+        report = RecoveryReport(component="sstable@%#x" % self.base)
+        blob, lost = tolerant_read(self.ns, self.base, self.size)
+        footer_off = self.size - _FOOTER.size
+        data_size, _, magic = _FOOTER.unpack_from(blob, footer_off)
+        if magic != _MAGIC or data_size > footer_off:
+            report.lost += 1
+            report.note("footer unreadable: table lost")
+            return [], report
+        entries, scan_report = _tolerant_entries(blob, data_size, lost)
+        report.merge(scan_report, prefix="")
+        return [(key, value) for _, key, value in entries], report

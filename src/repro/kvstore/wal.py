@@ -16,6 +16,8 @@ Both recover by CRC-scanning the log (see :mod:`repro.kvstore.records`).
 """
 
 from repro._units import CACHELINE, align_up
+from repro.faults.model import overlaps_lost, tolerant_read
+from repro.faults.report import RecoveryReport
 from repro.kvstore import records
 
 #: Syscall + VFS overhead per write() and per fsync() on the POSIX
@@ -30,11 +32,18 @@ FLEX_LIBRARY_NS = 190.0
 class WalBase:
     """Common state: a log region [base, base+capacity) on a namespace."""
 
-    def __init__(self, ns, base, capacity):
+    #: Record alignment the replay scanner can resync at after an
+    #: unreadable (poisoned) hole; None means records are unaligned and
+    #: everything after the first hole is unrecoverable.
+    RESYNC_ALIGN = None
+
+    def __init__(self, ns, base, capacity, naive=False):
         self.ns = ns
         self.base = base
         self.capacity = capacity
         self.tail = 0            # bytes appended so far
+        #: CRC-less replay (demonstration mode): trusts torn records.
+        self.naive = naive
 
     @property
     def tail_addr(self):
@@ -51,18 +60,64 @@ class WalBase:
 
     def replay(self):
         """Recover all intact records from the *persistent* view."""
-        buf = self.ns.read_persistent(self.base, self.capacity)
+        out, _ = self.replay_report()
+        return out
+
+    def replay_report(self):
+        """Replay with full accounting: ``(records, RecoveryReport)``.
+
+        Intact records are recovered; a torn tail (garbage that fails
+        its CRC with no media fault underneath) truncates the log
+        there; poisoned XPLines become *lost* records — the scanner
+        resyncs past the hole when the record format allows it
+        (:attr:`RESYNC_ALIGN`) instead of abandoning the rest of the
+        log.
+        """
+        buf, lost_ranges = tolerant_read(self.ns, self.base, self.capacity)
+        report = RecoveryReport(component="wal")
+        verify = not self.naive
         out = []
         offset = 0
-        while True:
-            rec = records.decode(buf, offset)
-            if rec is None:
-                break
-            key, value, end = rec
-            out.append((key, value))
-            offset += self._advance(end - offset)
+        while offset < self.capacity:
+            rec = records.decode(buf, offset, verify_crc=verify)
+            if rec is not None:
+                key, value, end = rec
+                out.append((key, value))
+                report.recovered += 1
+                offset += self._advance(end - offset)
+                continue
+            hole = next(((lo, ll) for lo, ll in lost_ranges
+                         if lo + ll > offset), None)
+            if hole is not None:
+                hole_off, hole_len = hole
+                report.lost += 1
+                report.note("unreadable hole at +%d (%d bytes)"
+                            % (hole_off, hole_len))
+                if self.RESYNC_ALIGN is None:
+                    report.note("records unaligned: log abandoned at +%d"
+                                % offset)
+                    break
+                nxt = self._resync(buf, max(hole_off + hole_len,
+                                            offset + 1), verify)
+                if nxt is None:
+                    break
+                offset = nxt
+                continue
+            if any(buf[offset:]):
+                report.truncated += 1
+                report.note("torn tail truncated at +%d" % offset)
+            break
         self.tail = offset
-        return out
+        return out, report
+
+    def _resync(self, buf, start, verify):
+        """First aligned offset at/after ``start`` that decodes clean."""
+        pos = align_up(start, self.RESYNC_ALIGN)
+        while pos < self.capacity:
+            if records.decode(buf, pos, verify_crc=verify) is not None:
+                return pos
+            pos += self.RESYNC_ALIGN
+        return None
 
     def reset(self):
         """Logically truncate (a real system would rotate log files)."""
@@ -92,6 +147,9 @@ class WalPosix(WalBase):
 
 class WalFlex(WalBase):
     """FLEX: direct, 64 B-aligned non-temporal appends from userspace."""
+
+    #: 64 B-aligned records let replay resync after a poisoned hole.
+    RESYNC_ALIGN = CACHELINE
 
     def _advance(self, record_len):
         return align_up(record_len, CACHELINE)

@@ -7,18 +7,27 @@ recovery applies intact undo entries backwards, restoring pre-tx state
 for any transaction that never committed.
 
 Undo-log entry: u64 offset | u32 size | u32 crc | data (64 B aligned);
-the lane header holds a u64 entry count whose persist *completes* the
-entry append (count-then-data torn states are rejected by CRC).
+the CRC covers the header fields *and* the data, so a torn header
+(garbage offset/size) is rejected, not just torn data.  The lane
+header holds a u64 entry count whose persist *completes* the entry
+append (count-then-data torn states are rejected by CRC).
 """
 
 import struct
 import zlib
 
 from repro._units import CACHELINE, align_up
+from repro.faults.model import MediaError
+from repro.faults.report import RecoveryReport
 from repro.pmdk.pool import LANE_SIZE
 
 _LANE_HEADER = struct.Struct("<Q")
 _ENTRY_HEADER = struct.Struct("<QII")
+_CRC_BODY = struct.Struct("<QI")          # the header fields under CRC
+
+
+def _entry_crc(offset, size, data):
+    return zlib.crc32(_CRC_BODY.pack(offset, size) + data) & 0xFFFFFFFF
 
 
 class TransactionError(Exception):
@@ -68,7 +77,7 @@ class Transaction:
             raise TransactionError("no active transaction")
         old = self.pool.read(self.thread, offset, size)
         header = _ENTRY_HEADER.pack(
-            offset, size, zlib.crc32(old) & 0xFFFFFFFF)
+            offset, size, _entry_crc(offset, size, old))
         blob = header + old
         span = align_up(len(blob), CACHELINE)
         if self._log_tail + span > self._lane_base + LANE_SIZE:
@@ -126,19 +135,37 @@ class Transaction:
             self._lane_base)
 
 
-def _scan_lane(read, lane_base):
-    """Decode undo entries from a lane via the given reader."""
+def _scan_lane(read, lane_base, report=None):
+    """Decode undo entries from a lane via the given reader.
+
+    The lane count may claim more entries than actually decode (a torn
+    append); the scan stops at the first entry whose CRC fails, and
+    counts the shortfall as *truncated* in ``report`` when given.
+    """
     count = _LANE_HEADER.unpack(read(lane_base, 8))[0]
     out = []
     tail = lane_base + CACHELINE
+    lane_end = lane_base + LANE_SIZE
     for _ in range(count):
+        if tail + _ENTRY_HEADER.size > lane_end:
+            break
         header = read(tail, _ENTRY_HEADER.size)
         offset, size, crc = _ENTRY_HEADER.unpack(header)
+        # A torn header can carry a garbage size: bound it before
+        # reading the data (the CRC would reject it anyway).
+        if size > lane_end - tail - _ENTRY_HEADER.size:
+            break
         data = read(tail + _ENTRY_HEADER.size, size)
-        if zlib.crc32(data) & 0xFFFFFFFF != crc:
+        if _entry_crc(offset, size, data) != crc:
             break                     # torn entry: stop (newest first)
         out.append((offset, size, data))
         tail += align_up(_ENTRY_HEADER.size + size, CACHELINE)
+    if report is not None:
+        report.recovered += len(out)
+        if len(out) < count:
+            report.truncated += count - len(out)
+            report.note("lane @%#x: %d of %d undo entries torn"
+                        % (lane_base, count - len(out), count))
     return out
 
 
@@ -147,14 +174,32 @@ def recover(pool, thread):
 
     Returns the number of ranges restored.
     """
+    restored, _ = recover_report(pool, thread)
+    return restored
+
+
+def recover_report(pool, thread):
+    """Recovery with accounting: ``(restored, RecoveryReport)``.
+
+    A poisoned lane (its header or entries behind a bad XPLine) is
+    skipped — that transaction's rollback is *lost*, so its in-place
+    updates may survive partially; everything else still recovers.
+    """
+    report = RecoveryReport(component="pmdk-tx")
     restored = 0
     for lane in range(pool.lanes):
         lane_base = pool.lane_base(lane)
-        entries = _scan_lane(
-            lambda a, n: pool.ns.read_persistent(a, n), lane_base)
+        try:
+            entries = _scan_lane(
+                lambda a, n: pool.ns.read_persistent(a, n), lane_base,
+                report=report)
+        except MediaError:
+            report.lost += 1
+            report.note("lane %d unreadable: rollback lost" % lane)
+            continue
         for offset, size, data in reversed(entries):
             pool.ns.pwrite(thread, pool.addr(offset), data, instr="clwb")
             restored += 1
         pool.ns.ntstore(thread, lane_base, 8, data=_LANE_HEADER.pack(0))
         thread.sfence()
-    return restored
+    return restored, report

@@ -81,6 +81,18 @@ class DataStore:
             self.persist_line(start)
             start += CACHELINE
 
+    def write_persistent(self, addr, data):
+        """Overwrite bytes of the persistent view directly.
+
+        Used by fault injection (torn-write rollback) — normal code
+        moves data with :meth:`persist_line` only.
+        """
+        pos = 0
+        for page, off, chunk in self._split(addr, len(data)):
+            self._page(self._persistent, page)[off:off + chunk] = \
+                data[pos:pos + chunk]
+            pos += chunk
+
     def read_persistent(self, addr, size):
         """Read ``size`` bytes from the persistent (post-crash) view."""
         out = bytearray(size)

@@ -29,19 +29,36 @@ class SimulatedPowerFailure(Exception):
 
 
 class CrashInjector:
-    """Counts ADR insertions and raises at a chosen one."""
+    """Counts ADR insertions and raises at a chosen one.
+
+    Installing the injector *chains* any pre-existing persist hook
+    rather than clobbering it, so fault hooks (or nested injectors)
+    keep running; ``uninstall()`` restores the previous hook.
+    """
 
     def __init__(self, machine, crash_at=None):
         self.machine = machine
         self.crash_at = crash_at
         self.persists = 0
-        machine._persist_hook = self._on_persist
+        self._prev_hook = machine._persist_hook
+        # Keep the exact bound-method object we install: each attribute
+        # access creates a fresh one, so uninstall() needs this handle
+        # for its identity check.
+        self._hook = self._on_persist
+        machine._persist_hook = self._hook
 
     def _on_persist(self):
+        if self._prev_hook is not None:
+            self._prev_hook()
         self.persists += 1
         if self.crash_at is not None and self.persists >= self.crash_at:
             raise SimulatedPowerFailure(
                 "power failed at persist #%d" % self.persists)
+
+    def uninstall(self):
+        """Restore the hook that was installed before this injector."""
+        if self.machine._persist_hook is self._hook:
+            self.machine._persist_hook = self._prev_hook
 
 
 def count_persists(workload, machine_factory=Machine):
@@ -68,12 +85,12 @@ def exhaustive_crash_test(workload, check, machine_factory=Machine,
     exercised = 0
     for crash_at in points:
         machine = machine_factory()
-        CrashInjector(machine, crash_at=crash_at)
+        injector = CrashInjector(machine, crash_at=crash_at)
         try:
             workload(machine)
         except SimulatedPowerFailure:
             pass
-        machine._persist_hook = None         # recovery runs normally
+        injector.uninstall()                 # recovery runs normally
         machine.power_fail()
         check(machine, crash_at)
         exercised += 1

@@ -21,16 +21,22 @@ class XPMedia:
         phase = sum(name.encode()) * 97          # deterministic per DIMM
         self.ait = AddressIndirectionTable(ait_config, phase=phase)
         self.counters = counters
+        # Optional FaultController (repro.faults.model): thermal
+        # throttle windows stretch occupancies while they are open.
+        self.fault_controller = None
 
-    def _scaled(self, occupancy):
+    def _scaled(self, occupancy, now=0.0):
         budget = self._cfg.power_budget
         if budget <= 0:
             raise ValueError("power budget must be positive")
-        return occupancy / budget
+        occ = occupancy / budget
+        if self.fault_controller is not None:
+            occ *= self.fault_controller.throttle_factor(now)
+        return occ
 
     def read_line(self, now, xpline):
         """Fetch one XPLine; returns (bank_free_at, data_ready_at)."""
-        occ = self._scaled(self._cfg.read_occupancy_ns)
+        occ = self._scaled(self._cfg.read_occupancy_ns, now)
         _, end = self._banks.acquire(now, occ)
         self.counters.media_read_bytes += XPLINE
         return end, end + self._cfg.read_extra_ns
@@ -42,7 +48,7 @@ class XPMedia:
         migration stall, which is how the 50 us outliers back-pressure
         the pipeline all the way to the application store.
         """
-        occ = self._scaled(self._cfg.write_occupancy_ns)
+        occ = self._scaled(self._cfg.write_occupancy_ns, now)
         stall = self.ait.record_write(xpline)
         if stall:
             self.counters.migrations += 1
@@ -56,8 +62,8 @@ class XPMedia:
         The read and the write occupy the same bank back to back, which
         is why small stores with poor locality are so expensive.
         """
-        occ = (self._scaled(self._cfg.read_occupancy_ns)
-               + self._scaled(self._cfg.write_occupancy_ns))
+        occ = (self._scaled(self._cfg.read_occupancy_ns, now)
+               + self._scaled(self._cfg.write_occupancy_ns, now))
         stall = self.ait.record_write(xpline)
         if stall:
             self.counters.migrations += 1

@@ -207,19 +207,29 @@ class Namespace:
         accept = dimm.ingest_write(ch_end, self._dev_addr(line))
         thread.track_store(accept)
         thread.bytes_written += CACHELINE
+        self._persist_line(line)
+        return insert
+
+    def _persist_line(self, line):
+        """Commit one line to the ADR domain, with fault/crash hooks.
+
+        The fault controller snapshots the line *before* it persists
+        (torn-write rollback needs the old contents); the crash hook
+        runs after, so a crash at persist #N leaves line N durable —
+        modulo any tearing applied at power failure.
+        """
+        if self.machine.faults is not None:
+            self.machine.faults.before_persist(self, line)
         self.data.persist_line(line)
         if self.machine._persist_hook is not None:
             self.machine._persist_hook()
-        return insert
 
     def _evict_writeback(self, line, now):
         """A natural cache eviction wrote this dirty line back."""
         channel, dimm = self._route(line)
         ch_end = channel.transfer_writeback(now)
         dimm.ingest_write(ch_end, self._dev_addr(line))
-        self.data.persist_line(line)
-        if self.machine._persist_hook is not None:
-            self.machine._persist_hook()
+        self._persist_line(line)
 
     # -- data-carrying convenience API (used by the app substrates) -----------------
 
@@ -243,16 +253,26 @@ class Namespace:
             thread.sfence()
 
     def pread(self, thread, addr, size):
-        """Load ``size`` bytes (paying simulated time) and return them."""
+        """Load ``size`` bytes (paying simulated time) and return them.
+
+        Raises :class:`~repro.faults.model.MediaError` when the range
+        hits a poisoned XPLine or a pending transient read fault.
+        """
+        if self.machine.faults is not None:
+            self.machine.faults.check_read(self, addr, size, timed=True)
         self.load(thread, addr, size)
         return self.data.read(addr, size)
 
     def read_volatile(self, addr, size):
         """Peek at the CPU-visible contents without simulated cost."""
+        if self.machine.faults is not None:
+            self.machine.faults.check_read(self, addr, size)
         return self.data.read(addr, size)
 
     def read_persistent(self, addr, size):
         """Read the post-crash (durable) contents without simulated cost."""
+        if self.machine.faults is not None:
+            self.machine.faults.check_read(self, addr, size)
         return self.data.read_persistent(addr, size)
 
     # -- counters -------------------------------------------------------------------

@@ -60,6 +60,9 @@ class Machine:
         # Optional crash-injection hook (see repro.sim.crashpoints):
         # called once per line that reaches the ADR domain.
         self._persist_hook = None
+        # Optional fault controller (see repro.faults.model): torn
+        # writes, poison, transient errors, thermal throttling.
+        self.faults = None
 
     # -- namespace management ------------------------------------------------
 
@@ -123,6 +126,10 @@ class Machine:
         stored energy drains every dirty cache line to media first, as
         the whole-system-persistence proposals of Section 6 would.
         """
+        if self.faults is not None and not self.config.cache.eadr:
+            # Torn-write semantics: the final XPLine may keep only a
+            # prefix of its 64 B chunks (see repro.faults.model).
+            self.faults.on_power_fail()
         if self.config.cache.eadr:
             for cache in self.caches:
                 for ns_id, line in cache.dirty_keys():

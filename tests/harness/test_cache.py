@@ -102,6 +102,49 @@ class TestResultCache:
         hit, value = cache.get(key)
         assert hit and value == {"gbps": 6.5}
 
+    def test_silently_corrupted_result_is_a_miss(self, tmp_path):
+        # Valid JSON, valid envelope shape — but the result bytes were
+        # altered after writing.  Only the checksum can catch this.
+        cache = self._cache(tmp_path)
+        key = point_key("sweep", PARAMS)
+        cache.put(key, {"gbps": 6.5})
+        path = cache._path(key)
+        with open(path) as fh:
+            envelope = json.load(fh)
+        envelope["result"]["gbps"] = 9999.0      # bit-rot simulation
+        with open(path, "w") as fh:
+            json.dump(envelope, fh)
+        hit, _ = cache.get(key)
+        assert not hit
+        assert not os.path.exists(path)          # dropped, not trusted
+        # The rerun repopulates and verifies clean.
+        cache.put(key, {"gbps": 6.5})
+        hit, value = cache.get(key)
+        assert hit and value == {"gbps": 6.5}
+
+    def test_missing_checksum_is_a_miss(self, tmp_path):
+        cache = self._cache(tmp_path)
+        key = point_key("sweep", PARAMS)
+        cache.put(key, {"gbps": 6.5})
+        path = cache._path(key)
+        with open(path) as fh:
+            envelope = json.load(fh)
+        del envelope["sha256"]
+        with open(path, "w") as fh:
+            json.dump(envelope, fh)
+        hit, _ = cache.get(key)
+        assert not hit
+
+    def test_artifact_carries_checksum(self, tmp_path):
+        from repro.harness.cache import result_digest
+
+        cache = self._cache(tmp_path)
+        key = point_key("sweep", PARAMS)
+        cache.put(key, {"gbps": 6.5})
+        with open(cache._path(key)) as fh:
+            envelope = json.load(fh)
+        assert envelope["sha256"] == result_digest({"gbps": 6.5})
+
     def test_valid_json_missing_result_field_is_a_miss(self, tmp_path):
         cache = self._cache(tmp_path)
         key = point_key("sweep", PARAMS)

@@ -1,5 +1,10 @@
 """The parallel point executor: ordering, failures, degradation."""
 
+import multiprocessing
+import os
+import signal
+import time
+
 from repro.harness import effective_jobs, run_points
 
 
@@ -11,6 +16,36 @@ def fail_on_three(payload):
     if payload["x"] == 3:
         raise ValueError("three is right out")
     return payload["x"]
+
+
+def _in_worker():
+    return multiprocessing.current_process().name != "MainProcess"
+
+
+def hang_in_worker(payload):
+    """Hangs only inside pool workers, so an (unexpected) serial
+    fallback cannot wedge the test run itself."""
+    if payload.get("hang") and _in_worker():
+        time.sleep(60)
+    return payload["x"]
+
+
+def die_in_worker(payload):
+    """SIGKILLs the worker process: the result never arrives."""
+    if payload.get("die") and _in_worker():
+        os.kill(os.getpid(), signal.SIGKILL)
+    return payload["x"]
+
+
+def hang_first_attempt(payload):
+    """Hangs until a marker file exists; the first attempt drops the
+    marker before hanging, so the *retry* succeeds."""
+    if _in_worker():
+        marker = payload["marker"]
+        if not os.path.exists(marker):
+            open(marker, "w").close()
+            time.sleep(60)
+    return "second-try"
 
 
 PAYLOADS = [{"x": i} for i in range(8)]
@@ -54,6 +89,47 @@ class TestParallel:
         # degrade to in-process serial execution, not crash.
         outcomes = run_points(lambda p: p["x"] + 1, PAYLOADS, jobs=2)
         assert [o.value for o in outcomes] == list(range(1, 9))
+
+
+class TestTimeouts:
+    def test_hung_job_times_out_others_complete(self):
+        payloads = [{"x": 0, "hang": True}] + \
+            [{"x": i} for i in range(1, 5)]
+        outcomes = run_points(hang_in_worker, payloads, jobs=2,
+                              timeout_s=0.5, retries=0)
+        assert not outcomes[0].ok
+        assert "timed out" in outcomes[0].error
+        assert [o.value for o in outcomes[1:]] == [1, 2, 3, 4]
+        assert all(o.ok for o in outcomes[1:])
+
+    def test_killed_worker_does_not_wedge_the_sweep(self):
+        payloads = [{"x": 0, "die": True}] + \
+            [{"x": i} for i in range(1, 5)]
+        outcomes = run_points(die_in_worker, payloads, jobs=2,
+                              timeout_s=0.5, retries=1)
+        assert not outcomes[0].ok
+        assert "timed out" in outcomes[0].error
+        assert [o.value for o in outcomes[1:]] == [1, 2, 3, 4]
+
+    def test_retry_recovers_a_transiently_hung_job(self, tmp_path):
+        payloads = [{"x": 0, "marker": str(tmp_path / "marker")}]
+        outcomes = run_points(hang_first_attempt, payloads, jobs=2,
+                              timeout_s=1.0, retries=1)
+        assert outcomes[0].ok
+        assert outcomes[0].value == "second-try"
+
+    def test_timeout_path_preserves_payload_order(self):
+        payloads = [{"x": i} for i in range(6)]
+        outcomes = run_points(square, payloads, jobs=3, timeout_s=30.0)
+        assert [o.value for o in outcomes] == \
+            [i * i for i in range(6)]
+
+    def test_timeout_path_captures_ordinary_failures(self):
+        outcomes = run_points(fail_on_three, PAYLOADS, jobs=2,
+                              timeout_s=30.0)
+        assert not outcomes[3].ok
+        assert "three is right out" in outcomes[3].error
+        assert sum(o.ok for o in outcomes) == 7
 
 
 class TestEffectiveJobs:
