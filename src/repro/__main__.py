@@ -4,10 +4,15 @@ Commands:
 
 * ``list``                — the experiment registry (figure, title, bench)
 * ``run fig10 [...]``     — run experiments and print their raw results
+* ``trace bandwidth|figN``— run one experiment with tracing on; write a
+  Chrome ``trace_event`` JSON (chrome://tracing / Perfetto) and
+  optionally a flat metrics CSV
 * ``sweep [--quick] ...`` — the systematic sweep through the harness
+  (``--trace-dir`` records a per-point trace artifact)
 * ``cache stats|clear``   — inspect or empty the result cache
 * ``compare a b``         — diff two run manifests for metric drift
 * ``faults run [...]``    — chaos matrix: crash x tear x poison sweep
+  (``--trace-dir`` records fault instants per case)
 * ``calibrate``           — the headline paper-vs-measured numbers
 * ``guidelines``          — print the four best practices
 * ``audit --access N ...``— audit an access pattern against them
@@ -50,6 +55,47 @@ def cmd_run(args):
     return 0
 
 
+def cmd_trace(args):
+    from repro.telemetry import (
+        recording, write_chrome_trace, write_metrics_csv,
+    )
+
+    if args.target == "bandwidth":
+        from repro._units import KIB
+        from repro.lattester.bandwidth import measure_bandwidth
+
+        def runner():
+            return measure_bandwidth(
+                kind=args.kind, op=args.op, threads=args.threads,
+                access=args.access, pattern=args.pattern,
+                per_thread=args.per_thread * KIB)
+    elif args.target in REGISTRY:
+        runner = get(args.target).run
+    else:
+        print("unknown trace target %r" % args.target, file=sys.stderr)
+        print("valid targets: bandwidth, %s"
+              % ", ".join(e.figure for e in all_experiments()),
+              file=sys.stderr)
+        return 2
+    with recording(capacity=args.buffer,
+                   counter_interval_ns=args.counter_interval) as tracer:
+        result = runner()
+        tracer.sample_now()
+    write_chrome_trace(tracer, args.out)
+    counts = tracer.category_counts()
+    print("traced %s: %d events -> %s%s"
+          % (args.target, len(tracer), args.out,
+             " (%d dropped: raise --buffer)" % tracer.dropped
+             if tracer.dropped else ""))
+    print("  " + "  ".join("%s=%d" % (cat, counts[cat])
+                           for cat in sorted(counts)))
+    if args.metrics:
+        write_metrics_csv(tracer, args.metrics)
+        print("counter timeline -> %s" % args.metrics)
+    _pretty(result)
+    return 0
+
+
 def cmd_sweep(args):
     import time
 
@@ -72,7 +118,8 @@ def cmd_sweep(args):
 
     cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
     run = run_sweep(grid, per_thread=48 * KIB, jobs=args.jobs,
-                    cache=cache, progress=progress, name="sweep")
+                    cache=cache, progress=progress, name="sweep",
+                    trace_dir=args.trace_dir)
     write_csv(run.records, args.out)
     manifest_path = args.manifest or args.out + ".manifest.json"
     run.manifest.save(manifest_path)
@@ -142,7 +189,8 @@ def cmd_faults(args):
 
     run = run_chaos(quick=args.quick, seed=args.seed, jobs=args.jobs,
                     naive=args.naive, progress=progress,
-                    timeout_s=args.timeout, retries=args.retries)
+                    timeout_s=args.timeout, retries=args.retries,
+                    trace_dir=args.trace_dir)
     run.manifest.save(args.out)
     crashed = sum(1 for o in run.outcomes
                   if o.value and o.value["crashed"])
@@ -249,6 +297,33 @@ def build_parser():
     sub.add_parser("list", help="list reproduced experiments")
     run = sub.add_parser("run", help="run experiments by figure id")
     run.add_argument("figures", nargs="+", metavar="figN")
+    trace = sub.add_parser(
+        "trace", help="run one experiment with tracing on")
+    trace.add_argument("target",
+                       help="'bandwidth' or a registry figure id")
+    trace.add_argument("--kind", default="optane",
+                       help="namespace kind for bandwidth "
+                            "(default: optane)")
+    trace.add_argument("--op", default="ntstore",
+                       choices=("read", "ntstore", "clwb", "store"),
+                       help="bandwidth operation (default: ntstore)")
+    trace.add_argument("--threads", type=int, default=4)
+    trace.add_argument("--access", type=int, default=256,
+                       help="access size in bytes (default: 256)")
+    trace.add_argument("--pattern", choices=("seq", "rand"),
+                       default="seq")
+    trace.add_argument("--per-thread", type=int, default=64,
+                       help="KiB issued per thread (default: 64)")
+    trace.add_argument("--out", default="trace.json",
+                       help="Chrome trace output path")
+    trace.add_argument("--metrics", default=None,
+                       help="also write the counter timeline CSV here")
+    trace.add_argument("--buffer", type=int, default=1 << 16,
+                       help="ring-buffer capacity in events "
+                            "(default: 65536)")
+    trace.add_argument("--counter-interval", type=float, default=5000.0,
+                       help="counter-sample interval in virtual ns "
+                            "(default: 5000)")
     sweep = sub.add_parser(
         "sweep", help="systematic sweep through the harness")
     sweep.add_argument("--quick", action="store_true",
@@ -263,6 +338,9 @@ def build_parser():
                        help="cache root (default: .repro-cache)")
     sweep.add_argument("--manifest", default=None,
                        help="manifest path (default: <out>.manifest.json)")
+    sweep.add_argument("--trace-dir", default=None,
+                       help="write a Chrome trace per freshly computed "
+                            "point into this directory")
     cache = sub.add_parser("cache", help="result-cache maintenance")
     cache.add_argument("action", choices=("stats", "clear"))
     cache.add_argument("--cache-dir", default=None,
@@ -292,6 +370,9 @@ def build_parser():
                         help="per-case timeout in seconds")
     faults.add_argument("--retries", type=int, default=1,
                         help="retries per timed-out case")
+    faults.add_argument("--trace-dir", default=None,
+                        help="write a Chrome trace per chaos case into "
+                             "this directory")
     sub.add_parser("calibrate", help="paper-vs-measured headline numbers")
     sub.add_parser("guidelines", help="print the four best practices")
     audit = sub.add_parser("audit", help="audit an access pattern")
@@ -317,6 +398,7 @@ def main(argv=None):
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
+        "trace": cmd_trace,
         "sweep": cmd_sweep,
         "cache": cmd_cache,
         "compare": cmd_compare,

@@ -24,6 +24,7 @@ matrix is expected to *find* wrong-value violations then, demonstrating
 that it catches exactly the torn-tail corruption the CRCs prevent.
 """
 
+import os
 from dataclasses import dataclass, field
 
 from repro.faults.model import FaultController, MediaError
@@ -241,7 +242,26 @@ WORKLOADS = {
 
 def _run_case(payload):
     """Run one (workload, crash, tear, poison) cell; module-level so the
-    parallel executor can pickle it."""
+    parallel executor can pickle it.
+
+    ``trace_path`` in the payload — added by :func:`run_chaos` for
+    traced runs, never part of the matrix itself — records the whole
+    case (workload, power failure, fault instants, recovery) as one
+    Chrome trace.  The result record gains a ``"trace"`` key only when
+    traced, so untraced manifests stay byte-identical.
+    """
+    trace_path = payload.get("trace_path")
+    if trace_path is not None:
+        from repro.telemetry import recording, write_chrome_trace
+        with recording() as tracer:
+            record = _run_case_inner(payload)
+        write_chrome_trace(tracer, trace_path)
+        record["trace"] = trace_path
+        return record
+    return _run_case_inner(payload)
+
+
+def _run_case_inner(payload):
     run, check = WORKLOADS[payload["workload"]]
     machine = Machine()
     tear, keep = _parse_tear(payload["tear"])
@@ -330,20 +350,42 @@ class ChaosRun:
         return len(self.outcomes)
 
 
+def case_trace_path(trace_dir, index, payload):
+    """Deterministic per-case trace filename inside ``trace_dir``."""
+    return os.path.join(trace_dir, "case-%04d-%s.trace.json"
+                        % (index, payload["workload"]))
+
+
 def run_chaos(quick=False, seed=0, jobs=None, naive=False, workloads=None,
               progress=None, timeout_s=CASE_TIMEOUT_S,
-              retries=CASE_RETRIES):
+              retries=CASE_RETRIES, trace_dir=None):
     """Run the chaos matrix; returns a :class:`ChaosRun`.
 
     The manifest is deterministic: same (matrix, seed, naive) ->
     byte-identical JSON, because every timing field is zeroed and the
     worker count (which cannot affect the results) is not recorded.
+
+    ``trace_dir`` records every case as a Chrome trace — fault
+    injection points appear as instant events on the ``faults`` track —
+    and annotates each manifest point with its artifact path.  Tracing
+    never changes the case results, only the manifest's annotation.
     """
     payloads = build_matrix(quick=quick, seed=seed, naive=naive,
                             workloads=workloads)
-    outcomes = run_points(_run_case, payloads, jobs=jobs,
+    if trace_dir is None:
+        exec_payloads = payloads
+        traces = [None] * len(payloads)
+    else:
+        os.makedirs(trace_dir, exist_ok=True)
+        traces = [case_trace_path(trace_dir, i, p)
+                  for i, p in enumerate(payloads)]
+        exec_payloads = [dict(p, trace_path=t)
+                         for p, t in zip(payloads, traces)]
+    outcomes = run_points(_run_case, exec_payloads, jobs=jobs,
                           progress=progress, timeout_s=timeout_s,
                           retries=retries)
+    for outcome, payload in zip(outcomes, payloads):
+        outcome.payload = payload         # clean params, no trace_path
     manifest = RunManifest(
         name="faults-quick" if quick else "faults",
         grid={
@@ -358,11 +400,12 @@ def run_chaos(quick=False, seed=0, jobs=None, naive=False, workloads=None,
         jobs=1,
         started=0.0)
     violations = []
-    for outcome in outcomes:
+    for outcome, trace in zip(outcomes, traces):
         record = outcome.value
         manifest.add_point(params=outcome.payload, record=record,
                            cached=False, elapsed_s=0.0,
-                           error=outcome.error)
+                           error=outcome.error,
+                           trace=trace if outcome.ok else None)
         if record:
             for text in record["violations"]:
                 violations.append({

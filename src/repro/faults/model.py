@@ -81,6 +81,19 @@ class FaultController:
             for _, dimm in row:
                 dimm.media.fault_controller = self
 
+    def _trace(self, name, args):
+        """Emit a fault instant on the machine's tracer (if tracing).
+
+        Fault sites mostly fire outside simulated time (power failure,
+        recovery scans), so events are stamped with the tracer's
+        high-water mark — "at the end of what the simulation has done
+        so far" — keeping the trace monotone and deterministic.
+        """
+        tracer = self.machine.tracer
+        if tracer is not None:
+            tracer.instant(tracer.last_ts, "fault", name,
+                           track="faults", args=args)
+
     # -- torn-write model (persist-path hook) --------------------------
 
     def before_persist(self, ns, line):
@@ -114,7 +127,10 @@ class FaultController:
             for ns, line, old in reversed(self._tail[keep:]):
                 ns.data.write_persistent(line, old)
                 torn.append((ns.ns_id, line))
+                self._trace("fault.torn_line",
+                            {"ns_id": ns.ns_id, "line": line})
             self.torn_chunks += len(torn)
+        self._trace("fault.power_fail", {"torn_chunks": len(torn)})
         self._tail = []
         self._tail_key = None
         self.torn_lines = torn
@@ -126,6 +142,7 @@ class FaultController:
         """Mark every XPLine overlapping the range as poisoned."""
         for xp in _xplines(addr, size):
             self.poisoned.add((ns.ns_id, xp))
+            self._trace("fault.poison", {"ns_id": ns.ns_id, "xpline": xp})
 
     def poison_site(self, index):
         """Poison the ``index``-th distinct XPLine ever persisted.
@@ -139,6 +156,8 @@ class FaultController:
             return None
         site = self.persist_order[index % len(self.persist_order)]
         self.poisoned.add(site)
+        self._trace("fault.poison",
+                    {"ns_id": site[0], "xpline": site[1], "site": index})
         return site
 
     def clear_poison(self, ns, addr, size=1):
@@ -167,12 +186,16 @@ class FaultController:
                 if remaining > 0:
                     self.transient[key] = remaining - 1
                     self.transient_reads += 1
+                    self._trace("fault.transient_read",
+                                {"ns_id": ns.ns_id, "xpline": xp})
                     raise MediaError(
                         "transient media error at %s xpline %#x"
                         % (ns.name, xp), addr=xp * XPLINE, size=XPLINE,
                         transient=True)
             if key in self.poisoned:
                 self.poison_reads += 1
+                self._trace("fault.poison_read",
+                            {"ns_id": ns.ns_id, "xpline": xp})
                 raise MediaError(
                     "poisoned XPLine at %s xpline %#x" % (ns.name, xp),
                     addr=xp * XPLINE, size=XPLINE)
@@ -201,6 +224,9 @@ class FaultController:
         if factor <= 0:
             raise ValueError("throttle factor must be positive")
         self.windows.append((float(start_ns), float(end_ns), float(factor)))
+        self._trace("fault.thermal_window",
+                    {"start_ns": float(start_ns), "end_ns": float(end_ns),
+                     "factor": float(factor)})
 
     def throttle_factor(self, now):
         factor = 1.0

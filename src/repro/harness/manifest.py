@@ -36,16 +36,25 @@ class RunManifest:
     # -- recording ----------------------------------------------------
 
     def add_point(self, params, key=None, record=None, cached=False,
-                  elapsed_s=0.0, error=None):
-        """Record one point's provenance and (jsonable) result."""
-        self.points.append({
+                  elapsed_s=0.0, error=None, trace=None):
+        """Record one point's provenance and (jsonable) result.
+
+        ``trace`` is the path of the point's Chrome-trace artifact when
+        the run was traced; the key is omitted entirely for untraced
+        points so untraced manifests are byte-identical to manifests
+        written before tracing existed.
+        """
+        point = {
             "params": to_jsonable(params),
             "key": key,
             "record": to_jsonable(record),
             "cached": bool(cached),
             "elapsed_s": elapsed_s,
             "error": error,
-        })
+        }
+        if trace is not None:
+            point["trace"] = trace
+        self.points.append(point)
 
     def finish(self, cache=None):
         """Stamp total wall time and (optionally) cache statistics."""

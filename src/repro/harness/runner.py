@@ -9,6 +9,7 @@ whole run — provenance included — in a :class:`RunManifest`.
 figures (used by ``scripts/regenerate_all.py``).
 """
 
+import os
 from dataclasses import dataclass
 from itertools import product
 
@@ -29,11 +30,23 @@ def expand_grid(grid):
 
 
 def _sweep_point(payload):
-    """Measure one sweep point (module-level: must pickle to workers)."""
+    """Measure one sweep point (module-level: must pickle to workers).
+
+    ``trace_path`` in the payload — added by :func:`run_sweep` for
+    traced runs, never part of the cache key — makes the point record
+    a Chrome trace of itself to that path while it measures.
+    """
     from repro.lattester.bandwidth import measure_bandwidth
     params = dict(payload)
     per_thread = params.pop("per_thread")
-    result = measure_bandwidth(per_thread=per_thread, **params)
+    trace_path = params.pop("trace_path", None)
+    if trace_path is None:
+        result = measure_bandwidth(per_thread=per_thread, **params)
+    else:
+        from repro.telemetry import recording, write_chrome_trace
+        with recording() as tracer:
+            result = measure_bandwidth(per_thread=per_thread, **params)
+        write_chrome_trace(tracer, trace_path)
     record = dict(params)
     record["gbps"] = result.gbps
     record["ewr"] = result.ewr
@@ -58,8 +71,13 @@ class SweepRun:
         return not self.failures
 
 
+def trace_artifact_path(trace_dir, key):
+    """Deterministic per-point trace filename inside ``trace_dir``."""
+    return os.path.join(trace_dir, "point-%s.trace.json" % key[:16])
+
+
 def run_sweep(grid, per_thread=64 * KIB, jobs=None, cache=None,
-              progress=None, name="sweep", version=None):
+              progress=None, name="sweep", version=None, trace_dir=None):
     """Run a full sweep grid through the harness.
 
     Returns a :class:`SweepRun` whose ``records`` are in grid order
@@ -68,6 +86,14 @@ def run_sweep(grid, per_thread=64 * KIB, jobs=None, cache=None,
     on-disk cache; pass ``ResultCache(enabled=False)`` to force
     recomputation.  ``progress`` receives each :class:`PointOutcome`
     as it completes (cache hits included).
+
+    ``trace_dir`` turns on per-point tracing: every freshly computed
+    point writes a Chrome trace (named after its content-address key)
+    into that directory, and the manifest's point entry records the
+    artifact path.  Cache keys are computed from the *clean* payloads —
+    tracing never influences content addresses or measured results —
+    so a traced run still hits the same cache as an untraced one
+    (replayed points have no trace: nothing re-ran).
     """
     if cache is None:
         cache = ResultCache()
@@ -75,6 +101,9 @@ def run_sweep(grid, per_thread=64 * KIB, jobs=None, cache=None,
     payloads = [dict(p, per_thread=per_thread) for p in points]
     keys = [point_key(SWEEP_EXPERIMENT, payload, version=version)
             for payload in payloads]
+    traces = [None] * len(payloads)
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
 
     manifest = RunManifest(name=name, grid=grid, jobs=jobs,
                            version=version)
@@ -90,12 +119,21 @@ def run_sweep(grid, per_thread=64 * KIB, jobs=None, cache=None,
         else:
             pending.append(index)
 
-    fresh = run_points(_sweep_point,
-                       [payloads[i] for i in pending],
+    exec_payloads = []
+    for i in pending:
+        if trace_dir is None:
+            exec_payloads.append(payloads[i])
+        else:
+            traces[i] = trace_artifact_path(trace_dir, keys[i])
+            exec_payloads.append(dict(payloads[i], trace_path=traces[i]))
+    fresh = run_points(_sweep_point, exec_payloads,
                        jobs=jobs, progress=progress)
     for slot, outcome in zip(pending, fresh):
         outcome.index = slot
+        outcome.payload = payloads[slot]   # clean params, no trace_path
         outcomes[slot] = outcome
+        if not outcome.ok:
+            traces[slot] = None            # the point never wrote one
         if outcome.ok:
             cache.put(keys[slot], to_jsonable(outcome.value),
                       experiment=SWEEP_EXPERIMENT,
@@ -103,11 +141,11 @@ def run_sweep(grid, per_thread=64 * KIB, jobs=None, cache=None,
                       version=version)
 
     records = []
-    for outcome, key in zip(outcomes, keys):
+    for outcome, key, trace in zip(outcomes, keys, traces):
         manifest.add_point(params=outcome.payload, key=key,
                            record=outcome.value, cached=outcome.cached,
                            elapsed_s=outcome.elapsed_s,
-                           error=outcome.error)
+                           error=outcome.error, trace=trace)
         if outcome.ok:
             records.append(outcome.value)
     manifest.finish(cache=cache)

@@ -34,6 +34,7 @@ from repro.lattester.latency import (
 from repro.lattester.load import (
     LoadPoint, latency_bandwidth_curve, loaded_latency,
 )
+from repro.lattester.stats import percentile, percentiles
 from repro.lattester.sweep import (
     best_thread_count, filter_records, sweep_grid,
 )
@@ -50,7 +51,7 @@ __all__ = [
     "ewr_experiment", "figure2", "figure3", "figure9_sweep", "figure10",
     "figure16", "filter_records", "hotspot_tail",
     "inferred_buffer_lines", "latency_bandwidth_curve", "loaded_latency",
-    "make_kernel", "measure_bandwidth", "ntstore_kernel", "probe_region",
-    "read_kernel", "read_latency", "staggered_base", "store_clwb_kernel",
-    "sweep_grid", "write_latency",
+    "make_kernel", "measure_bandwidth", "ntstore_kernel", "percentile",
+    "percentiles", "probe_region", "read_kernel", "read_latency",
+    "staggered_base", "store_clwb_kernel", "sweep_grid", "write_latency",
 ]

@@ -11,7 +11,10 @@ from dataclasses import dataclass
 
 from repro._units import KIB, gb_per_s
 from repro.lattester.access import address_stream, make_kernel, staggered_base
-from repro.sim import Machine, aggregate, effective_write_ratio, run_workloads
+from repro.sim import (
+    Machine, aggregate, effective_write_ratio, is_ewr_defined,
+    run_workloads,
+)
 
 
 @dataclass
@@ -80,9 +83,9 @@ def figure9_sweep(ops=("ntstore", "store", "clwb"),
 
 def correlation(points):
     """Least-squares slope and r^2 of bandwidth against EWR."""
-    xs = [p.ewr for p in points if p.ewr != float("inf")]
+    xs = [p.ewr for p in points if is_ewr_defined(p.ewr)]
     ys = [p.device_bandwidth_gbps
-          for p in points if p.ewr != float("inf")]
+          for p in points if is_ewr_defined(p.ewr)]
     n = len(xs)
     if n < 2:
         raise ValueError("need at least two finite points")

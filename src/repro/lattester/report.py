@@ -63,9 +63,10 @@ def latency_table(results, title="Latency"):
 
 def bandwidth_table(results, title="Bandwidth"):
     """Render a list of BandwidthResult as a table."""
+    from repro.sim.counters import is_ewr_defined
     rows = [
         ["%s/%dB x%d" % (r.pattern, r.access, r.threads), r.op,
-         r.gbps, r.ewr if r.ewr != float("inf") else "-"]
+         r.gbps, r.ewr if is_ewr_defined(r.ewr) else "-"]
         for r in results
     ]
     return table(["workload", "op", "GB/s", "EWR"], rows, title=title)

@@ -1,0 +1,50 @@
+"""Shared order statistics for the latency studies.
+
+One percentile implementation for all of ``lattester`` (Figure 3's
+tails, report tables, ad-hoc analyses), using the **nearest-rank**
+definition: the p-th percentile of n sorted samples is the element at
+rank ``ceil(n * p)`` (1-based), i.e. the smallest sample such that at
+least ``p`` of the distribution is at or below it.
+
+The previous ad-hoc version indexed ``int(n * p)``, which is a
+0-based *upper* neighbour: for even n it returned the element *above*
+the median (p50 of ``[1, 2, 3, 4]`` came back 3, not 2), and for
+extreme percentiles it aliased the maximum one rank early (p99.999 of
+100 000 samples returned ``max`` instead of the second-largest).
+"""
+
+import math
+
+
+def percentile(sorted_samples, p):
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    ``p`` is a fraction in ``[0, 1]``.  ``p=0`` returns the minimum,
+    ``p=1`` the maximum; ranks are clamped to the valid range so tiny
+    samples never index out of bounds.
+    """
+    n = len(sorted_samples)
+    if n == 0:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("percentile fraction must be in [0, 1], got %r"
+                         % (p,))
+    rank = math.ceil(n * p)          # 1-based nearest rank
+    if rank < 1:
+        rank = 1
+    elif rank > n:
+        rank = n
+    return sorted_samples[rank - 1]
+
+
+def percentiles(samples, fractions):
+    """Sort once, then read several percentiles.
+
+    Returns a list aligned with ``fractions``.  ``samples`` need not be
+    pre-sorted (unlike :func:`percentile`, which trusts its input).
+    """
+    ordered = sorted(samples)
+    return [percentile(ordered, p) for p in fractions]
+
+
+__all__ = ["percentile", "percentiles"]

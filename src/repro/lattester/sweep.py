@@ -62,13 +62,30 @@ def sweep_grid(grid=None, per_thread=64 * KIB, progress=None,
     from repro.harness import run_sweep
     run = run_sweep(grid, per_thread=per_thread, jobs=jobs, cache=cache,
                     progress=None if progress is None
-                    else (lambda outcome: outcome.ok
-                          and progress(outcome.value)))
+                    else (lambda outcome: progress(_outcome_record(outcome))))
     if run.failures:
         first = run.failures[0]
         raise RuntimeError("sweep point %s failed: %s"
                            % (first["params"], first["error"]))
     return run.records
+
+
+def _outcome_record(outcome):
+    """Shape a harness :class:`PointOutcome` for the progress callback.
+
+    Successful points pass the measured record through unchanged (the
+    same dict the serial path reports).  Failed points used to be
+    silently dropped from the callback; now they surface as a record
+    with ``"error"`` set so callers can count or log them before
+    :func:`sweep_grid` raises at the end of the run.
+    """
+    if outcome.ok:
+        return outcome.value
+    record = dict(outcome.payload)
+    record.pop("per_thread", None)
+    record.pop("trace_path", None)
+    record["error"] = outcome.error
+    return record
 
 
 def _sweep_serial(grid, per_thread, progress):
@@ -99,27 +116,63 @@ def filter_records(records, **criteria):
     return out
 
 
+def csv_fieldnames(records):
+    """Column order for a set of records: known fields, then extras.
+
+    The well-known :data:`CSV_FIELDS` keep their canonical order (and
+    appear only if some record carries them); any other keys — harness
+    annotations like ``trace``, future metrics — follow alphabetically
+    instead of being silently dropped.
+    """
+    present = set()
+    for rec in records:
+        present.update(rec)
+    fields = [f for f in CSV_FIELDS if f in present]
+    fields.extend(sorted(present - set(CSV_FIELDS)))
+    return fields
+
+
 def write_csv(records, path):
-    """Persist sweep records to a CSV file (one row per experiment)."""
+    """Persist sweep records to a CSV file (one row per experiment).
+
+    Columns are derived from the records themselves (see
+    :func:`csv_fieldnames`), so extra keys round-trip instead of being
+    dropped; records missing a column write an empty cell.
+    """
     with open(path, "w", newline="") as fh:
-        writer = csv.DictWriter(fh, fieldnames=CSV_FIELDS,
-                                extrasaction="ignore")
+        writer = csv.DictWriter(fh, fieldnames=csv_fieldnames(records),
+                                restval="")
         writer.writeheader()
         for rec in records:
             writer.writerow(rec)
 
 
+def _restore(text):
+    """Undo CSV stringification: int, then float, else the string."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
 def read_csv(path):
-    """Load sweep records back, with numeric fields restored."""
+    """Load sweep records back, with numeric fields restored.
+
+    Tolerates absent optional columns (older files written before a
+    field existed load fine) and extra ones (restored generically:
+    int, then float, then string).  Empty cells — a record that lacked
+    that column when written — are omitted from the loaded dict, so
+    ``write_csv`` → ``read_csv`` is an identity on the records.
+    """
     out = []
     with open(path, newline="") as fh:
         for row in csv.DictReader(fh):
-            row["access"] = int(row["access"])
-            row["threads"] = int(row["threads"])
-            row["gbps"] = float(row["gbps"])
-            row["ewr"] = float(row["ewr"])
-            row["elapsed_ns"] = float(row["elapsed_ns"])
-            out.append(row)
+            out.append({k: _restore(v) for k, v in row.items()
+                        if v != ""})
     return out
 
 

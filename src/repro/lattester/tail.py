@@ -9,6 +9,7 @@ none.
 from dataclasses import dataclass
 
 from repro._units import CACHELINE
+from repro.lattester.stats import percentile
 from repro.sim import Machine
 
 
@@ -26,11 +27,6 @@ class TailResult:
     samples: int
 
 
-def _percentile(sorted_lats, p):
-    idx = min(len(sorted_lats) - 1, int(len(sorted_lats) * p))
-    return sorted_lats[idx]
-
-
 def hotspot_tail(kind="optane-ni", hotspot=4096, ops=100_000, machine=None):
     """Write ``ops`` fenced ntstores sequentially inside the hotspot."""
     m = machine if machine is not None else Machine()
@@ -45,13 +41,13 @@ def hotspot_tail(kind="optane-ni", hotspot=4096, ops=100_000, machine=None):
         t.sfence()
         lats.append(t.now - start)
     lats.sort()
-    median = _percentile(lats, 0.5)
+    median = percentile(lats, 0.5)
     return TailResult(
         hotspot_bytes=hotspot,
         p50_ns=median,
-        p999_ns=_percentile(lats, 0.999),
-        p9999_ns=_percentile(lats, 0.9999),
-        p99999_ns=_percentile(lats, 0.99999),
+        p999_ns=percentile(lats, 0.999),
+        p9999_ns=percentile(lats, 0.9999),
+        p99999_ns=percentile(lats, 0.99999),
         max_ns=lats[-1],
         outliers=sum(1 for x in lats if x >= 10 * median),
         samples=len(lats),

@@ -11,7 +11,7 @@ partial, forcing read-modify-writes, and amplification jumps.
 from dataclasses import dataclass
 
 from repro._units import CACHELINE, XPLINE
-from repro.sim import Machine, aggregate, write_amplification
+from repro.sim import EWR_UNDEFINED, Machine, aggregate, write_amplification
 
 
 @dataclass
@@ -54,7 +54,7 @@ def probe_region(xplines, rounds=4, kind="optane-ni", machine=None):
         region_bytes=xplines * XPLINE,
         xplines=xplines,
         write_amplification=wa,
-        ewr=(1.0 / wa) if wa else float("inf"),
+        ewr=(1.0 / wa) if wa else EWR_UNDEFINED,
     )
 
 

@@ -18,7 +18,8 @@ from repro.sim.config import (
     default_config,
 )
 from repro.sim.counters import (
-    CounterSnapshot, aggregate, effective_write_ratio, write_amplification,
+    EWR_UNDEFINED, CounterSnapshot, aggregate, effective_write_ratio,
+    is_ewr_defined, write_amplification,
 )
 from repro.sim.crashpoints import (
     CrashInjector, SimulatedPowerFailure, count_persists,
@@ -36,12 +37,12 @@ from repro.sim.platform import Machine
 
 __all__ = [
     "AITConfig", "BackfillResource", "CacheConfig", "ChannelConfig",
-    "CounterSnapshot", "CrashInjector", "SimulatedPowerFailure",
-    "count_persists", "exhaustive_crash_test",
+    "CounterSnapshot", "CrashInjector", "EWR_UNDEFINED",
+    "SimulatedPowerFailure", "count_persists", "exhaustive_crash_test",
     "DRAMConfig", "DirectionalLink", "InterleaveConfig", "Machine",
     "MachineConfig", "MediaConfig", "MemoryModeNamespace", "NUMAConfig",
     "Namespace", "NearMemoryCache", "Resource", "Scheduler", "ThreadCtx",
     "WPQConfig", "XPBufferConfig", "aggregate", "default_config",
-    "effective_write_ratio", "make_memory_mode_namespace", "run_workloads",
-    "write_amplification",
+    "effective_write_ratio", "is_ewr_defined",
+    "make_memory_mode_namespace", "run_workloads", "write_amplification",
 ]

@@ -5,20 +5,47 @@ computed from DIMM hardware counters: bytes issued by the iMC divided
 by bytes actually written to the 3D XPoint media.  Every simulated DIMM
 owns a :class:`DimmCounters`; snapshots allow measuring EWR over just
 the interesting phase of an experiment.
+
+**EWR sentinel convention.**  When ``media_write_bytes == 0`` the ratio
+is undefined; :func:`effective_write_ratio` returns the documented
+sentinel :data:`EWR_UNDEFINED` (``float("inf")``) if the iMC issued
+writes that are all still buffered, and ``1.0`` (a perfect ratio) when
+there was no write traffic at all.  ``inf`` survives the sweep CSV
+round-trip (``float("inf") -> "inf" -> float("inf")``); use
+:func:`is_ewr_defined` before arithmetic on EWR values.
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+
+#: Sentinel EWR for "iMC wrote, but nothing reached the media yet"
+#: (everything still sits in the XPBuffer).  Chosen because Python's
+#: CSV round-trip preserves it exactly; filter with is_ewr_defined().
+EWR_UNDEFINED = float("inf")
 
 
-@dataclass
+def is_ewr_defined(ewr):
+    """True when ``ewr`` is a real measurement, not the sentinel."""
+    return ewr != EWR_UNDEFINED
+
+
+@dataclass(frozen=True)
 class CounterSnapshot:
-    """Immutable copy of the counters at one instant."""
+    """Immutable copy of the counters at one instant.
+
+    Frozen: a snapshot is a value.  Derived snapshots (deltas,
+    aggregates) are built functionally, never by mutating one in
+    place — an aggregate that mutated its first input used to corrupt
+    the caller's snapshot list.
+    """
 
     imc_read_bytes: int = 0
     imc_write_bytes: int = 0
     media_read_bytes: int = 0
     media_write_bytes: int = 0
     migrations: int = 0
+
+
+_SNAPSHOT_FIELDS = tuple(f.name for f in fields(CounterSnapshot))
 
 
 class DimmCounters:
@@ -64,11 +91,12 @@ def effective_write_ratio(delta):
 
     Values below 1.0 mean the DIMM wrote more internally than the
     application requested; values near 1.0 mean the XPBuffer combined
-    writes perfectly.  Returns ``float('inf')`` when nothing reached the
-    media (everything still buffered).
+    writes perfectly.  Returns :data:`EWR_UNDEFINED` when iMC writes
+    were issued but nothing reached the media (everything still
+    buffered), and ``1.0`` when there were no writes at all.
     """
     if delta.media_write_bytes == 0:
-        return float("inf") if delta.imc_write_bytes else 1.0
+        return EWR_UNDEFINED if delta.imc_write_bytes else 1.0
     return delta.imc_write_bytes / delta.media_write_bytes
 
 
@@ -80,12 +108,13 @@ def write_amplification(delta):
 
 
 def aggregate(deltas):
-    """Sum counter deltas across several DIMMs."""
-    total = CounterSnapshot()
+    """Sum counter deltas across several DIMMs (a fresh snapshot).
+
+    Purely functional: the inputs are never modified (the snapshot
+    dataclass is frozen, so mutation would raise anyway).
+    """
+    totals = {name: 0 for name in _SNAPSHOT_FIELDS}
     for d in deltas:
-        total.imc_read_bytes += d.imc_read_bytes
-        total.imc_write_bytes += d.imc_write_bytes
-        total.media_read_bytes += d.media_read_bytes
-        total.media_write_bytes += d.media_write_bytes
-        total.migrations += d.migrations
-    return total
+        for name in _SNAPSHOT_FIELDS:
+            totals[name] += getattr(d, name)
+    return CounterSnapshot(**totals)

@@ -23,9 +23,10 @@ class DRAMDimm:
 
     WRITE_SLOTS = 4
 
-    def __init__(self, config, name):
+    def __init__(self, config, name, tracer=None):
         self.name = name
         self._cfg = config
+        self._tracer = tracer
         self._banks = Resource(name + ".banks", config.banks)
         self._write_slots = Resource(name + ".wr", self.WRITE_SLOTS)
         self._open_rows = {}
@@ -45,19 +46,28 @@ class DRAMDimm:
     def read(self, now, dev_addr):
         """Serve one 64 B read; returns the data-ready time."""
         self.counters.imc_read_bytes += CACHELINE
-        if self._row_hit(dev_addr):
+        row_hit = self._row_hit(dev_addr)
+        if row_hit:
             occ = self._cfg.row_hit_occupancy_ns
         else:
             occ = self._cfg.row_miss_occupancy_ns
-        _, end = self._banks.acquire(now, occ)
+        start, end = self._banks.acquire(now, occ)
+        if self._tracer is not None:
+            self._tracer.complete(
+                start, "dram", "dram.read", end - start, track=self.name,
+                args={"row_hit": row_hit, "queued_ns": start - now})
         return end + self._cfg.read_extra_ns
 
     def ingest_write(self, now, dev_addr):
         """Accept one 64 B write; returns the accept time."""
         self.counters.imc_write_bytes += CACHELINE
         self._row_hit(dev_addr)
-        _, end = self._write_slots.acquire(now,
-                                           self._cfg.write_occupancy_ns)
+        start, end = self._write_slots.acquire(
+            now, self._cfg.write_occupancy_ns)
+        if self._tracer is not None:
+            self._tracer.complete(
+                start, "dram", "dram.write", end - start, track=self.name,
+                args={"queued_ns": start - now})
         return end
 
     def drain(self, now):

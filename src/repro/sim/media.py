@@ -15,12 +15,15 @@ from repro.sim.engine import Resource
 class XPMedia:
     """Banked 256 B-granularity storage media with wear levelling."""
 
-    def __init__(self, config, ait_config, counters, name="media"):
+    def __init__(self, config, ait_config, counters, name="media",
+                 tracer=None):
         self._cfg = config
+        self.name = name
         self._banks = Resource(name, config.banks)
         phase = sum(name.encode()) * 97          # deterministic per DIMM
         self.ait = AddressIndirectionTable(ait_config, phase=phase)
         self.counters = counters
+        self._tracer = tracer
         # Optional FaultController (repro.faults.model): thermal
         # throttle windows stretch occupancies while they are open.
         self.fault_controller = None
@@ -37,8 +40,13 @@ class XPMedia:
     def read_line(self, now, xpline):
         """Fetch one XPLine; returns (bank_free_at, data_ready_at)."""
         occ = self._scaled(self._cfg.read_occupancy_ns, now)
-        _, end = self._banks.acquire(now, occ)
+        start, end = self._banks.acquire(now, occ)
         self.counters.media_read_bytes += XPLINE
+        if self._tracer is not None:
+            self._tracer.complete(
+                start, "media", "media.read", end - start,
+                track=self.name, args={"xpline": xpline,
+                                       "queued_ns": start - now})
         return end, end + self._cfg.read_extra_ns
 
     def write_line(self, now, xpline):
@@ -49,11 +57,15 @@ class XPMedia:
         the pipeline all the way to the application store.
         """
         occ = self._scaled(self._cfg.write_occupancy_ns, now)
-        stall = self.ait.record_write(xpline)
-        if stall:
-            self.counters.migrations += 1
-        _, end = self._banks.acquire(now, occ + stall)
+        stall = self._record_write(now, xpline)
+        start, end = self._banks.acquire(now, occ + stall)
         self.counters.media_write_bytes += XPLINE
+        if self._tracer is not None:
+            self._tracer.complete(
+                start, "media", "media.write", end - start,
+                track=self.name,
+                args={"xpline": xpline, "queued_ns": start - now,
+                      "stall_ns": stall})
         return end
 
     def rmw_line(self, now, xpline):
@@ -64,13 +76,46 @@ class XPMedia:
         """
         occ = (self._scaled(self._cfg.read_occupancy_ns, now)
                + self._scaled(self._cfg.write_occupancy_ns, now))
-        stall = self.ait.record_write(xpline)
-        if stall:
-            self.counters.migrations += 1
-        _, end = self._banks.acquire(now, occ + stall)
+        stall = self._record_write(now, xpline)
+        start, end = self._banks.acquire(now, occ + stall)
         self.counters.media_read_bytes += XPLINE
         self.counters.media_write_bytes += XPLINE
+        if self._tracer is not None:
+            self._tracer.complete(
+                start, "media", "media.rmw", end - start,
+                track=self.name,
+                args={"xpline": xpline, "queued_ns": start - now,
+                      "stall_ns": stall})
         return end
+
+    def _record_write(self, now, xpline):
+        """AIT housekeeping for one media write; returns the stall ns.
+
+        When tracing, migration and thermal stalls additionally surface
+        as instant events (the AIT's counters tell the two apart).
+        """
+        if self._tracer is None:
+            stall = self.ait.record_write(xpline)
+            if stall:
+                self.counters.migrations += 1
+            return stall
+        migrations = self.ait.migrations
+        thermal = self.ait.thermal_stalls
+        stall = self.ait.record_write(xpline)
+        self._tracer.instant(
+            now, "ait", "ait.lookup", track=self.name,
+            args={"xpline": xpline, "wear": self.ait.wear_of(xpline)})
+        if stall:
+            self.counters.migrations += 1
+            if self.ait.migrations > migrations:
+                self._tracer.instant(
+                    now, "ait", "ait.migrate", track=self.name,
+                    args={"xpline": xpline, "stall_ns": stall})
+            if self.ait.thermal_stalls > thermal:
+                self._tracer.instant(
+                    now, "ait", "ait.thermal", track=self.name,
+                    args={"xpline": xpline, "stall_ns": stall})
+        return stall
 
     def next_free_at(self):
         return self._banks.next_free_at()

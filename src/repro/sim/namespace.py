@@ -92,6 +92,11 @@ class Namespace:
         thread.bytes_read += CACHELINE
         if thread.latencies is not None:
             thread.record_latency(data_ready - issued)
+        if self.machine.tracer is not None:
+            self.machine.tracer.complete(
+                issued, "mem", "load.fill", data_ready - issued,
+                track="t%d" % thread.tid,
+                args={"line": line, "ns": self.name, "remote": remote})
         return data_ready
 
     def _dev_addr(self, line):
@@ -186,6 +191,7 @@ class Namespace:
             lead += self.machine.upi.write_extra_ns
         issued = thread.now
         thread.admit_store(lead_ns=lead)
+        stalled = thread.now - issued       # per-thread WPQ back-pressure
         insert = max(thread.now + insert_lat, not_before + insert_lat)
         if remote:
             insert = self.machine.upi.write_transfer(
@@ -194,6 +200,12 @@ class Namespace:
             insert += self.machine.upi.write_extra_ns
         if ordered:
             thread.pending_persists.append(insert)
+        if self.machine.tracer is not None:
+            self.machine.tracer.complete(
+                issued, "wpq", "wpq.insert." + instr, insert - issued,
+                track="t%d" % thread.tid,
+                args={"line": line, "ns": self.name,
+                      "stall_ns": stalled, "remote": remote})
         if thread.latencies is not None:
             # A store's latency, as seen by software, is the time until
             # it reaches the ADR domain — including any back-pressure

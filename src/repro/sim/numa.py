@@ -14,8 +14,10 @@ from repro.sim.engine import DirectionalLink
 class Interconnect:
     """The UPI link between the two sockets."""
 
-    def __init__(self, config, name="upi"):
+    def __init__(self, config, name="upi", tracer=None):
         self._cfg = config
+        self.name = name
+        self._tracer = tracer
         self._link = DirectionalLink(name, config.turnaround_ns)
 
     @property
@@ -32,17 +34,34 @@ class Interconnect:
 
     def read_transfer(self, now, source=None, heavy=True):
         """Book a 64 B read-response transfer; returns its end time."""
-        _, end = self._link.transfer(now, self._cfg.read_occ_ns, "rd",
-                                     source=source, heavy=heavy)
+        turnarounds = self._link.turnarounds
+        start, end = self._link.transfer(now, self._cfg.read_occ_ns,
+                                         "rd", source=source, heavy=heavy)
+        if self._tracer is not None:
+            self._trace(now, start, end, "rd", source, turnarounds)
         return end
 
     def write_transfer(self, now, source=None, heavy=True):
         """Book a 64 B write transfer; returns its end time."""
         occ = self._cfg.write_occ_ns if heavy \
             else self._cfg.write_occ_light_ns
-        _, end = self._link.transfer(now, occ, "wr",
-                                     source=source, heavy=heavy)
+        turnarounds = self._link.turnarounds
+        start, end = self._link.transfer(now, occ, "wr",
+                                         source=source, heavy=heavy)
+        if self._tracer is not None:
+            self._trace(now, start, end, "wr", source, turnarounds)
         return end
+
+    def _trace(self, now, start, end, direction, source, turnarounds):
+        """One UPI transfer span, plus a turnaround instant if it paid one."""
+        self._tracer.complete(
+            start, "upi", "upi." + direction, end - start,
+            track=self.name,
+            args={"source": source, "queued_ns": start - now})
+        if self._link.turnarounds > turnarounds:
+            self._tracer.instant(
+                start, "upi", "upi.turnaround", track=self.name,
+                args={"direction": direction, "source": source})
 
     def reset(self):
         self._link.reset()

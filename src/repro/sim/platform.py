@@ -25,6 +25,7 @@ from repro.sim.interleave import InterleavedMapping, LinearMapping
 from repro.sim.namespace import Namespace
 from repro.sim.numa import Interconnect
 from repro.sim.xpdimm import XPDimm
+from repro.telemetry.tracer import current_tracer
 
 
 class Machine:
@@ -33,7 +34,11 @@ class Machine:
     def __init__(self, config=None):
         self.config = config if config is not None else default_config()
         cfg = self.config
-        self.upi = Interconnect(cfg.numa)
+        # Observability: every component shares the machine's tracer
+        # reference (None = tracing off, the zero-overhead default).
+        # Built first so the constructors below can capture it.
+        self.tracer = current_tracer()
+        self.upi = Interconnect(cfg.numa, tracer=self.tracer)
         self.caches = [
             CacheModel(cfg.cache, name="llc%d" % s)
             for s in range(cfg.sockets)
@@ -46,14 +51,17 @@ class Machine:
                 tag = "s%d.d%d" % (s, d)
                 opt_row.append((
                     MemoryChannel(cfg.channel, "ch.opt." + tag),
-                    XPDimm(cfg, "xp." + tag),
+                    XPDimm(cfg, "xp." + tag, tracer=self.tracer),
                 ))
                 dram_row.append((
                     MemoryChannel(cfg.channel, "ch.dram." + tag),
-                    DRAMDimm(cfg.dram, "dram." + tag),
+                    DRAMDimm(cfg.dram, "dram." + tag,
+                             tracer=self.tracer),
                 ))
             self.optane.append(opt_row)
             self.dram.append(dram_row)
+        if self.tracer is not None:
+            self.tracer.attach_sampler(self._sample_counters)
         self._namespaces = {}
         self._ns_by_id = []
         self._threads = []
@@ -149,6 +157,28 @@ class Machine:
         self._ns_by_id[ns_id]._evict_writeback(line, now)
 
     # -- introspection --------------------------------------------------------------
+
+    def _sample_counters(self):
+        """Counter-timeline sample: one row per Optane DIMM.
+
+        Registered with the tracer at construction; invoked whenever
+        virtual time crosses the sampling interval.  Values are the
+        DIMM's SMART counters plus XPBuffer occupancy, which is how a
+        trace shows EWR and buffer pressure *over time* rather than as
+        one end-of-run scalar.
+        """
+        samples = []
+        for row in self.optane:
+            for _, dimm in row:
+                c = dimm.counters
+                samples.append((dimm.name, "dimm", {
+                    "imc_read_bytes": c.imc_read_bytes,
+                    "imc_write_bytes": c.imc_write_bytes,
+                    "media_read_bytes": c.media_read_bytes,
+                    "media_write_bytes": c.media_write_bytes,
+                    "xpbuffer_occupancy": dimm.buffer.occupancy(),
+                }))
+        return samples
 
     def total_migrations(self):
         return sum(

@@ -25,15 +25,16 @@ from repro.sim.xpbuffer import XPBuffer
 class XPDimm:
     """A single Optane DC PMM as seen from its memory channel."""
 
-    def __init__(self, machine_config, name):
+    def __init__(self, machine_config, name, tracer=None):
         self.name = name
         self._buf_cfg = machine_config.xpbuffer
         self._ait_cfg = machine_config.ait
+        self._tracer = tracer
         self.counters = DimmCounters()
         self.buffer = XPBuffer(machine_config.xpbuffer)
         self.media = XPMedia(
             machine_config.media, machine_config.ait, self.counters,
-            name=name + ".media")
+            name=name + ".media", tracer=tracer)
 
     @property
     def thermal_stalls(self):
@@ -52,6 +53,19 @@ class XPDimm:
             bank_start = self._evict(now, evicted)
             if bank_start + self._buf_cfg.ingest_ns > accept:
                 accept = bank_start + self._buf_cfg.ingest_ns
+        if self._tracer is not None:
+            if hit:
+                name = "xpbuffer.combine"
+            elif evicted is not None and evicted.dirty:
+                name = "xpbuffer.evict"
+            else:
+                name = "xpbuffer.alloc"
+            self._tracer.complete(
+                now, "xpbuffer", name, accept - now, track=self.name,
+                args={"xpline": xpline, "subline": subline,
+                      "occupancy": self.buffer.occupancy(),
+                      "rmw": (evicted.needs_rmw()
+                              if evicted is not None else False)})
         return accept
 
     def read(self, now, dev_addr):
@@ -60,13 +74,25 @@ class XPDimm:
         xpline = dev_addr // XPLINE
         hit, evicted = self.buffer.read(xpline)
         if hit:
-            return now + self._buf_cfg.read_hit_ns + \
+            ready = now + self._buf_cfg.read_hit_ns + \
                 self.media._cfg.read_extra_ns
+            if self._tracer is not None:
+                self._tracer.complete(
+                    now, "xpbuffer", "xpbuffer.read_hit", ready - now,
+                    track=self.name, args={"xpline": xpline})
+            return ready
         if evicted is not None and evicted.dirty:
             # Reads compete for buffer space: allocating the fill can
             # push a dirty write out to media.
             self._evict(now, evicted)
         _, data_ready = self.media.read_line(now, xpline)
+        if self._tracer is not None:
+            self._tracer.complete(
+                now, "xpbuffer", "xpbuffer.read_miss", data_ready - now,
+                track=self.name,
+                args={"xpline": xpline,
+                      "evicted_dirty": (evicted is not None
+                                        and evicted.dirty)})
         return data_ready
 
     def _evict(self, now, entry):

@@ -1,0 +1,46 @@
+"""repro.telemetry — tracing and metrics for the simulated hierarchy.
+
+The paper explains its results by watching *inside* the DIMM: EWR from
+hardware counters, WPQ head-of-line blocking, XPBuffer locality.  This
+package gives the simulator the same observability: a zero-overhead-
+when-off tracer threaded through the memory hierarchy, a counter
+timeline, and exporters for chrome://tracing (Perfetto) and CSV.
+
+Typical use::
+
+    from repro.telemetry import recording, write_chrome_trace
+
+    with recording() as tr:
+        result = measure_bandwidth(kind="optane", op="ntstore")
+    write_chrome_trace(tr, "trace.json")
+
+or, from the command line::
+
+    python -m repro trace bandwidth --op ntstore --out trace.json
+
+Tracing is a pure observation: with the same seed, results are
+byte-identical whether a tracer is installed or not, and two traced
+runs produce byte-identical trace files.
+"""
+
+from repro.telemetry.events import (
+    CAT_AIT, CAT_COUNTER, CAT_DRAM, CAT_FAULT, CAT_MEDIA, CAT_MEM,
+    CAT_UPI, CAT_WPQ, CAT_XPBUFFER, CATEGORIES, TraceEvent,
+)
+from repro.telemetry.export import (
+    chrome_trace, load_and_validate, metrics_rows, validate_chrome_trace,
+    write_chrome_trace, write_metrics_csv,
+)
+from repro.telemetry.tracer import (
+    DEFAULT_CAPACITY, DEFAULT_COUNTER_INTERVAL_NS, Tracer,
+    current_tracer, install, recording, uninstall,
+)
+
+__all__ = [
+    "CAT_AIT", "CAT_COUNTER", "CAT_DRAM", "CAT_FAULT", "CAT_MEDIA",
+    "CAT_MEM", "CAT_UPI", "CAT_WPQ", "CAT_XPBUFFER", "CATEGORIES",
+    "DEFAULT_CAPACITY", "DEFAULT_COUNTER_INTERVAL_NS", "TraceEvent",
+    "Tracer", "chrome_trace", "current_tracer", "install",
+    "load_and_validate", "metrics_rows", "recording", "uninstall",
+    "validate_chrome_trace", "write_chrome_trace", "write_metrics_csv",
+]

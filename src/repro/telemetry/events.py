@@ -1,0 +1,58 @@
+"""Typed trace events.
+
+One event is one observation of the simulated memory hierarchy at a
+virtual-time instant (or over a virtual-time span).  Events are plain
+named tuples so the hot emission path allocates nothing but the tuple
+itself; the Chrome ``trace_event`` phase vocabulary is reused directly:
+
+* ``"X"`` — *complete* event: something occupied ``[ts, ts + dur)``
+  (a WPQ insertion, a media bank booking, a UPI transfer);
+* ``"i"`` — *instant* event: something happened at ``ts`` (an AIT
+  wear-levelling migration, an injected fault, a power failure);
+* ``"C"`` — *counter* sample: ``args`` maps counter names to values
+  at ``ts`` (the periodic per-DIMM counter timeline).
+
+``track`` names the hardware structure the event belongs to ("t3" for
+simulated thread 3, "xp.s0.d2" for a DIMM, "upi" for the cross-socket
+link); the exporter turns each distinct track into one named row of
+the Chrome trace viewer.
+"""
+
+from typing import NamedTuple
+
+#: Event categories used by the built-in instrumentation.
+CAT_WPQ = "wpq"            # iMC write-pending-queue inserts and stalls
+CAT_XPBUFFER = "xpbuffer"  # on-DIMM write-combining buffer activity
+CAT_AIT = "ait"            # address-indirection-table housekeeping
+CAT_MEDIA = "media"        # 3D XPoint media bank occupancy
+CAT_UPI = "upi"            # cross-socket interconnect transfers
+CAT_DRAM = "dram"          # DDR4 bank/row activity
+CAT_MEM = "mem"            # CPU-side load fills
+CAT_FAULT = "fault"        # injected faults (repro.faults)
+CAT_COUNTER = "counter"    # periodic counter-timeline samples
+
+CATEGORIES = (
+    CAT_WPQ, CAT_XPBUFFER, CAT_AIT, CAT_MEDIA, CAT_UPI, CAT_DRAM,
+    CAT_MEM, CAT_FAULT, CAT_COUNTER,
+)
+
+#: Chrome trace_event phases emitted by the tracer.
+PHASE_COMPLETE = "X"
+PHASE_INSTANT = "i"
+PHASE_COUNTER = "C"
+
+
+class TraceEvent(NamedTuple):
+    """One observation: ``(ts, cat, name, ph, dur, track, args)``.
+
+    ``ts`` and ``dur`` are in simulated nanoseconds.  ``args`` is a
+    small dict of JSON-able context (or None).
+    """
+
+    ts: float
+    cat: str
+    name: str
+    ph: str
+    dur: float
+    track: str
+    args: dict

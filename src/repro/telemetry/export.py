@@ -1,0 +1,161 @@
+"""Exporters: Chrome ``trace_event`` JSON and a flat metrics CSV.
+
+The Chrome format is the JSON array flavour documented for
+chrome://tracing and understood by Perfetto: one object per event with
+``name``/``cat``/``ph``/``ts`` (microseconds) plus ``dur`` for complete
+events and ``args`` for everything else.  Each distinct tracer track
+becomes one named thread row via ``thread_name`` metadata events, so
+the viewer shows per-thread WPQ activity above per-DIMM buffer/media
+rows.
+
+Everything here is deterministic: keys are sorted, timestamps are
+virtual, and ``allow_nan=False`` guarantees the output is strict JSON
+(a NaN/Infinity sneaking into event args is a bug, not a formatting
+choice).
+"""
+
+import csv
+import json
+
+from repro.telemetry.events import (
+    PHASE_COMPLETE, PHASE_COUNTER, PHASE_INSTANT,
+)
+
+_NS_PER_US = 1000.0
+
+
+def _track_ids(events):
+    """Assign a stable integer tid to each distinct track (sorted)."""
+    tracks = sorted({ev.track for ev in events})
+    return {track: tid for tid, track in enumerate(tracks)}
+
+
+def chrome_trace(tracer, pid=0):
+    """Render a tracer's buffer as a Chrome ``trace_event`` dict."""
+    events = tracer.events()
+    tids = _track_ids(events)
+    out = []
+    for track, tid in sorted(tids.items(), key=lambda kv: kv[1]):
+        out.append({
+            "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+            "args": {"name": track},
+        })
+    for ev in events:
+        rec = {
+            "name": ev.name,
+            "cat": ev.cat,
+            "ph": ev.ph,
+            "ts": ev.ts / _NS_PER_US,
+            "pid": pid,
+            "tid": tids[ev.track],
+        }
+        if ev.ph == PHASE_COMPLETE:
+            rec["dur"] = ev.dur / _NS_PER_US
+        if ev.ph == PHASE_INSTANT:
+            rec["s"] = "t"            # instant scope: thread
+        if ev.args:
+            rec["args"] = ev.args
+        elif ev.ph == PHASE_COUNTER:
+            rec["args"] = {}
+        out.append(rec)
+    return {
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "clock": "virtual-ns",
+            "dropped_events": tracer.dropped,
+        },
+        "traceEvents": out,
+    }
+
+
+def write_chrome_trace(tracer, path, pid=0):
+    """Write the Chrome trace JSON; returns ``path``."""
+    data = chrome_trace(tracer, pid=pid)
+    with open(path, "w") as fh:
+        json.dump(data, fh, sort_keys=True, allow_nan=False,
+                  separators=(",", ":"))
+    return path
+
+
+#: Phases a valid trace may contain ("M" = metadata).
+_VALID_PHASES = (PHASE_COMPLETE, PHASE_INSTANT, PHASE_COUNTER, "M")
+
+
+def validate_chrome_trace(data):
+    """Validate a Chrome trace dict; returns a list of problems.
+
+    An empty list means the trace is structurally valid.  Used by the
+    CI ``trace-smoke`` job and the telemetry tests; intentionally
+    strict about the parts chrome://tracing/Perfetto require.
+    """
+    problems = []
+    if not isinstance(data, dict):
+        return ["top level must be an object, got %s" % type(data).__name__]
+    events = data.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, ev in enumerate(events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(ev, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append("%s: bad phase %r" % (where, ph))
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append("%s: missing name" % where)
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append("%s: bad ts %r" % (where, ts))
+        if ph == PHASE_COMPLETE:
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append("%s: bad dur %r" % (where, dur))
+        if ph == PHASE_COUNTER and not isinstance(ev.get("args"), dict):
+            problems.append("%s: counter event without args" % where)
+    return problems
+
+
+def load_and_validate(path):
+    """Parse ``path`` as strict JSON and validate; returns problems."""
+    with open(path) as fh:
+        try:
+            data = json.load(fh, parse_constant=_reject_constant)
+        except ValueError as exc:
+            return ["not strict JSON: %s" % exc]
+    return validate_chrome_trace(data)
+
+
+def _reject_constant(name):
+    raise ValueError("non-finite constant %r is not strict JSON" % name)
+
+
+# -- metrics CSV -------------------------------------------------------------
+
+def metrics_rows(tracer):
+    """Counter-timeline samples as flat dict rows (ts_ns, track, ...)."""
+    rows = []
+    for ev in tracer.events():
+        if ev.ph != PHASE_COUNTER:
+            continue
+        row = {"ts_ns": ev.ts, "track": ev.track, "name": ev.name}
+        row.update(ev.args or {})
+        rows.append(row)
+    return rows
+
+
+def write_metrics_csv(tracer, path):
+    """Write the counter timeline as CSV; returns the row count."""
+    rows = metrics_rows(tracer)
+    lead = ["ts_ns", "track", "name"]
+    extra = sorted({k for row in rows for k in row} - set(lead))
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=lead + extra,
+                                restval="")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)

@@ -1,0 +1,174 @@
+"""The tracer: a bounded ring buffer of typed events.
+
+Design constraints, in order:
+
+1. **Zero overhead when off.**  Components never consult a global
+   flag on the hot path; they hold a ``tracer`` reference that is
+   ``None`` unless tracing was requested, so the disabled cost is one
+   attribute load and an ``is not None`` test.
+2. **Determinism.**  Events are timestamped in *virtual* nanoseconds
+   only — never wall clock — so the same seed produces a byte-identical
+   trace, and tracing cannot perturb simulated results (emission is a
+   pure observation).
+3. **Bounded memory.**  The ring buffer keeps the newest ``capacity``
+   events; older ones are dropped and counted in :attr:`Tracer.dropped`
+   so a truncated trace is never mistaken for a complete one.
+
+The module-level *current tracer* is how tracing reaches experiments
+that build their own :class:`~repro.sim.platform.Machine` internally:
+``recording()`` installs a tracer, every Machine constructed inside the
+``with`` block picks it up, and the block yields the tracer for export.
+"""
+
+from collections import deque
+from contextlib import contextmanager
+
+from repro.telemetry.events import (
+    PHASE_COMPLETE, PHASE_COUNTER, PHASE_INSTANT, TraceEvent,
+)
+
+#: Default ring-buffer capacity (events).
+DEFAULT_CAPACITY = 1 << 16
+
+#: Default virtual-time interval between counter-timeline samples.
+DEFAULT_COUNTER_INTERVAL_NS = 5_000.0
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` observations into a ring buffer."""
+
+    def __init__(self, capacity=DEFAULT_CAPACITY,
+                 counter_interval_ns=DEFAULT_COUNTER_INTERVAL_NS):
+        if capacity < 1:
+            raise ValueError("tracer capacity must be positive")
+        self.capacity = capacity
+        self._events = deque(maxlen=capacity)
+        self.dropped = 0
+        self.last_ts = 0.0
+        self.counter_interval_ns = counter_interval_ns
+        self._samplers = []
+        self._next_sample_ns = 0.0
+
+    # -- emission (hot path) ----------------------------------------------
+
+    def complete(self, ts, cat, name, dur, track="sim", args=None):
+        """A span: something occupied ``[ts, ts + dur)``."""
+        self._add(TraceEvent(ts, cat, name, PHASE_COMPLETE, dur,
+                             track, args))
+
+    def instant(self, ts, cat, name, track="sim", args=None):
+        """A point observation at ``ts``."""
+        self._add(TraceEvent(ts, cat, name, PHASE_INSTANT, 0.0,
+                             track, args))
+
+    def counter(self, ts, name, values, track="counters"):
+        """A counter sample: ``values`` maps counter names to numbers."""
+        self._append(TraceEvent(ts, "counter", name, PHASE_COUNTER,
+                                0.0, track, dict(values)))
+
+    def _add(self, event):
+        self._append(event)
+        if self._samplers and event.ts >= self._next_sample_ns:
+            self._sample(event.ts)
+
+    def _append(self, event):
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+        if event.ts > self.last_ts:
+            self.last_ts = event.ts
+
+    # -- counter timeline --------------------------------------------------
+
+    def attach_sampler(self, sampler):
+        """Register a callable returning ``[(track, name, values), ...]``.
+
+        The tracer invokes the sampler each time virtual time crosses
+        the next ``counter_interval_ns`` boundary, turning the returned
+        values into ``"C"`` events — the counter timeline.
+
+        Attachment is latest-wins: a new machine replaces the previous
+        machine's sampler (virtual clocks restart at zero per machine,
+        so samples from a finished run would never fire again anyway).
+        """
+        if self.counter_interval_ns is None:
+            return
+        self._samplers = [sampler]
+        self._next_sample_ns = 0.0
+
+    def _sample(self, now):
+        # Advance the deadline first: samplers may emit through us.
+        interval = self.counter_interval_ns
+        self._next_sample_ns = now + interval
+        for sampler in self._samplers:
+            for track, name, values in sampler():
+                self.counter(now, name, values, track=track)
+
+    def sample_now(self, now=None):
+        """Force one counter-timeline sample (e.g. at end of run)."""
+        if self._samplers:
+            self._sample(self.last_ts if now is None else now)
+
+    # -- inspection --------------------------------------------------------
+
+    def events(self):
+        """The buffered events, oldest first."""
+        return list(self._events)
+
+    def __len__(self):
+        return len(self._events)
+
+    def category_counts(self):
+        """``{category: event count}`` over the buffered events."""
+        counts = {}
+        for ev in self._events:
+            counts[ev.cat] = counts.get(ev.cat, 0) + 1
+        return counts
+
+    def clear(self):
+        self._events.clear()
+        self.dropped = 0
+        self.last_ts = 0.0
+        self._next_sample_ns = 0.0
+        self._samplers = []
+
+
+#: The installed tracer (None = tracing off everywhere).
+_current = None
+
+
+def current_tracer():
+    """The tracer new Machines should observe into (None when off)."""
+    return _current
+
+
+def install(tracer):
+    """Make ``tracer`` the current tracer; returns the previous one."""
+    global _current
+    previous = _current
+    _current = tracer
+    return previous
+
+
+def uninstall():
+    """Turn tracing off; returns the tracer that was installed."""
+    return install(None)
+
+
+@contextmanager
+def recording(tracer=None, capacity=DEFAULT_CAPACITY,
+              counter_interval_ns=DEFAULT_COUNTER_INTERVAL_NS):
+    """Context manager: install a tracer for the duration of a block.
+
+    ``with recording() as tr:`` builds a fresh :class:`Tracer`; pass an
+    existing one to reuse it.  The previous tracer (usually None) is
+    restored on exit, even on error.
+    """
+    if tracer is None:
+        tracer = Tracer(capacity=capacity,
+                        counter_interval_ns=counter_interval_ns)
+    previous = install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous)

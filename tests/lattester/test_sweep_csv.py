@@ -1,0 +1,85 @@
+"""Tests for the sweep CSV round-trip and harness progress surfacing.
+
+Regression tests for two lossy paths: ``write_csv`` silently dropped
+every key outside ``CSV_FIELDS`` (``extrasaction="ignore"``) and
+``read_csv`` raised ``KeyError`` on any file missing one of them.
+"""
+
+import pytest
+
+from repro._units import KIB
+from repro.lattester.sweep import (
+    CSV_FIELDS, csv_fieldnames, read_csv, sweep_grid, write_csv,
+)
+
+
+def roundtrip(records, tmp_path):
+    path = str(tmp_path / "sweep.csv")
+    write_csv(records, path)
+    return read_csv(path)
+
+
+class TestRoundTrip:
+    RECORD = {"kind": "optane-ni", "op": "ntstore", "pattern": "seq",
+              "access": 256, "threads": 4, "gbps": 12.5, "ewr": 0.94,
+              "elapsed_ns": 1234.5}
+
+    def test_identity(self, tmp_path):
+        records = [dict(self.RECORD), dict(self.RECORD, threads=8)]
+        assert roundtrip(records, tmp_path) == records
+
+    def test_extra_keys_survive(self, tmp_path):
+        # Harness annotations like the trace artifact path used to be
+        # silently dropped by extrasaction="ignore".
+        rec = dict(self.RECORD, trace="traces/point-abc.trace.json",
+                   stall_ns=42)
+        back = roundtrip([rec], tmp_path)
+        assert back == [rec]
+
+    def test_missing_optional_columns_tolerated(self, tmp_path):
+        # An old file written before ewr/elapsed_ns existed still loads.
+        rec = {"kind": "dram", "op": "read", "access": 64,
+               "threads": 1, "gbps": 50.0}
+        back = roundtrip([rec], tmp_path)
+        assert back == [rec]
+
+    def test_heterogeneous_records(self, tmp_path):
+        # A record lacking a column another record has: empty cell on
+        # write, key omitted on read.
+        a = dict(self.RECORD)
+        b = dict(self.RECORD, note="rerun")
+        back = roundtrip([a, b], tmp_path)
+        assert back == [a, b]
+
+    def test_ewr_sentinel_roundtrips(self, tmp_path):
+        rec = dict(self.RECORD, ewr=float("inf"))
+        back = roundtrip([rec], tmp_path)
+        assert back[0]["ewr"] == float("inf")
+
+    def test_fieldnames_order(self):
+        recs = [{"zz": 1, "kind": "dram", "gbps": 1.0}]
+        assert csv_fieldnames(recs) == ["kind", "gbps", "zz"]
+        assert csv_fieldnames([]) == []
+
+    def test_known_fields_keep_canonical_order(self):
+        recs = [dict.fromkeys(reversed(CSV_FIELDS), 0)]
+        assert tuple(csv_fieldnames(recs)) == CSV_FIELDS
+
+
+class TestProgressSurfacesFailures:
+    GRID = {"kind": ("optane-ni",), "op": ("ntstore", "bogus-op"),
+            "pattern": ("seq",), "access": (256,), "threads": (1,)}
+
+    def test_failed_points_reach_progress(self):
+        from repro.harness import ResultCache
+
+        seen = []
+        with pytest.raises(RuntimeError):
+            sweep_grid(grid=self.GRID, per_thread=8 * KIB,
+                       progress=seen.append, jobs=1,
+                       cache=ResultCache(enabled=False))
+        assert len(seen) == 2
+        failed = [r for r in seen if r.get("error")]
+        assert len(failed) == 1
+        assert failed[0]["op"] == "bogus-op"
+        assert "per_thread" not in failed[0]

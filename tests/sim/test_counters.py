@@ -1,0 +1,75 @@
+"""Tests for the counters contract: frozen snapshots, functional
+aggregation, and the EWR undefined-sentinel convention."""
+
+import dataclasses
+
+import pytest
+
+from repro.sim.counters import (
+    EWR_UNDEFINED, CounterSnapshot, DimmCounters, aggregate,
+    effective_write_ratio, is_ewr_defined, write_amplification,
+)
+
+
+class TestSnapshotImmutability:
+    def test_frozen(self):
+        snap = CounterSnapshot(imc_write_bytes=64)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            snap.imc_write_bytes = 128
+
+    def test_aggregate_does_not_mutate_inputs(self):
+        # Regression: aggregate() used to sum *into* the first delta,
+        # corrupting the caller's snapshot list.
+        deltas = [CounterSnapshot(imc_write_bytes=64, media_write_bytes=256),
+                  CounterSnapshot(imc_write_bytes=64, media_write_bytes=256)]
+        originals = [dataclasses.replace(d) for d in deltas]
+        total = aggregate(deltas)
+        assert deltas == originals
+        assert total.imc_write_bytes == 128
+        assert total.media_write_bytes == 512
+
+    def test_aggregate_empty(self):
+        assert aggregate([]) == CounterSnapshot()
+
+    def test_aggregate_is_reusable(self):
+        deltas = [CounterSnapshot(migrations=1)] * 3
+        assert aggregate(deltas) == aggregate(deltas)
+
+    def test_delta_is_fresh_snapshot(self):
+        counters = DimmCounters()
+        counters.imc_write_bytes = 64
+        before = counters.snapshot()
+        counters.imc_write_bytes = 192
+        delta = counters.delta(before)
+        assert delta.imc_write_bytes == 128
+        assert before.imc_write_bytes == 64
+
+
+class TestEWRSentinel:
+    def test_no_traffic_is_perfect(self):
+        assert effective_write_ratio(CounterSnapshot()) == 1.0
+
+    def test_buffered_writes_are_undefined(self):
+        delta = CounterSnapshot(imc_write_bytes=64)
+        ewr = effective_write_ratio(delta)
+        assert ewr == EWR_UNDEFINED
+        assert not is_ewr_defined(ewr)
+
+    def test_defined_ratio(self):
+        delta = CounterSnapshot(imc_write_bytes=256, media_write_bytes=256)
+        ewr = effective_write_ratio(delta)
+        assert ewr == 1.0
+        assert is_ewr_defined(ewr)
+
+    def test_sentinel_survives_csv_roundtrip(self):
+        # The whole point of choosing inf over NaN: it round-trips
+        # through str/float exactly and compares equal to itself.
+        assert float(str(EWR_UNDEFINED)) == EWR_UNDEFINED
+
+    def test_write_amplification_inverse(self):
+        delta = CounterSnapshot(imc_write_bytes=64, media_write_bytes=256)
+        assert write_amplification(delta) == 4.0
+        assert effective_write_ratio(delta) == 0.25
+
+    def test_write_amplification_no_traffic(self):
+        assert write_amplification(CounterSnapshot()) == 0.0

@@ -1,0 +1,102 @@
+"""Tests for the Chrome trace / metrics CSV exporters and validator."""
+
+import csv
+import json
+
+from repro.telemetry import (
+    Tracer, chrome_trace, load_and_validate, metrics_rows,
+    validate_chrome_trace, write_chrome_trace, write_metrics_csv,
+)
+
+
+def small_tracer():
+    tr = Tracer(counter_interval_ns=None)
+    tr.complete(1000.0, "wpq", "wpq.insert.ntstore", 500.0,
+                track="t0", args={"line": 64})
+    tr.instant(2000.0, "ait", "ait.lookup", track="xp.s0.d0",
+               args={"xpline": 3})
+    tr.counter(3000.0, "dimm", {"imc_write_bytes": 64},
+               track="xp.s0.d0")
+    return tr
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        data = chrome_trace(small_tracer())
+        assert validate_chrome_trace(data) == []
+        events = data["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        # one thread_name metadata event per distinct track
+        assert sorted(m["args"]["name"] for m in meta) \
+            == ["t0", "xp.s0.d0"]
+        tids = {m["args"]["name"]: m["tid"] for m in meta}
+        assert len(set(tids.values())) == 2
+
+    def test_microsecond_conversion(self):
+        events = chrome_trace(small_tracer())["traceEvents"]
+        span = next(e for e in events if e["ph"] == "X")
+        assert span["ts"] == 1.0 and span["dur"] == 0.5
+
+    def test_instant_scope_and_counter_args(self):
+        events = chrome_trace(small_tracer())["traceEvents"]
+        inst = next(e for e in events if e["ph"] == "i")
+        assert inst["s"] == "t"
+        ctr = next(e for e in events if e["ph"] == "C")
+        assert ctr["args"] == {"imc_write_bytes": 64}
+
+    def test_dropped_events_recorded(self):
+        tr = Tracer(capacity=1, counter_interval_ns=None)
+        tr.instant(1.0, "mem", "a")
+        tr.instant(2.0, "mem", "b")
+        assert chrome_trace(tr)["otherData"]["dropped_events"] == 1
+
+    def test_write_is_strict_sorted_json(self, tmp_path):
+        path = str(tmp_path / "t.json")
+        write_chrome_trace(small_tracer(), path)
+        assert load_and_validate(path) == []
+        with open(path) as fh:
+            text = fh.read()
+        # byte-for-byte reproducible serialization
+        data = json.loads(text)
+        assert text == json.dumps(data, sort_keys=True,
+                                  separators=(",", ":"))
+
+    def test_validator_catches_problems(self):
+        assert validate_chrome_trace([]) \
+            == ["top level must be an object, got list"]
+        assert validate_chrome_trace({}) == ["traceEvents must be a list"]
+        bad = {"traceEvents": [
+            {"ph": "Z", "name": "x"},
+            {"ph": "X", "name": "", "ts": 0, "dur": 0},
+            {"ph": "X", "name": "y", "ts": -1, "dur": -2},
+            {"ph": "C", "name": "c", "ts": 0},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert len(problems) == 5
+
+    def test_non_finite_args_rejected_at_write(self, tmp_path):
+        tr = Tracer(counter_interval_ns=None)
+        tr.instant(1.0, "mem", "a", args={"v": float("inf")})
+        path = str(tmp_path / "bad.json")
+        try:
+            write_chrome_trace(tr, path)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected allow_nan=False to reject inf")
+
+
+class TestMetricsCSV:
+    def test_rows_only_counters(self):
+        rows = metrics_rows(small_tracer())
+        assert len(rows) == 1
+        assert rows[0] == {"ts_ns": 3000.0, "track": "xp.s0.d0",
+                           "name": "dimm", "imc_write_bytes": 64}
+
+    def test_write(self, tmp_path):
+        path = str(tmp_path / "m.csv")
+        assert write_metrics_csv(small_tracer(), path) == 1
+        with open(path, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["track"] == "xp.s0.d0"
+        assert rows[0]["imc_write_bytes"] == "64"

@@ -1,0 +1,114 @@
+"""Tests for the tracer core: ring buffer, samplers, installation."""
+
+import pytest
+
+from repro.telemetry import (
+    Tracer, current_tracer, install, recording, uninstall,
+)
+
+
+class TestRingBuffer:
+    def test_events_in_order(self):
+        tr = Tracer()
+        tr.complete(10.0, "wpq", "wpq.insert", 5.0)
+        tr.instant(20.0, "fault", "fault.poison")
+        evs = tr.events()
+        assert [e.name for e in evs] == ["wpq.insert", "fault.poison"]
+        assert evs[0].ph == "X" and evs[0].dur == 5.0
+        assert evs[1].ph == "i"
+
+    def test_capacity_bound_and_drop_count(self):
+        tr = Tracer(capacity=4, counter_interval_ns=None)
+        for i in range(10):
+            tr.instant(float(i), "mem", "e%d" % i)
+        assert len(tr) == 4
+        assert tr.dropped == 6
+        assert [e.name for e in tr.events()] == ["e6", "e7", "e8", "e9"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_last_ts_high_water(self):
+        tr = Tracer()
+        tr.instant(50.0, "mem", "a")
+        tr.instant(30.0, "mem", "b")     # out-of-order emission is fine
+        assert tr.last_ts == 50.0
+
+    def test_category_counts(self):
+        tr = Tracer()
+        tr.instant(1.0, "ait", "ait.lookup")
+        tr.instant(2.0, "ait", "ait.lookup")
+        tr.complete(3.0, "media", "media.write", 1.0)
+        assert tr.category_counts() == {"ait": 2, "media": 1}
+
+    def test_clear(self):
+        tr = Tracer(capacity=1)
+        tr.instant(1.0, "mem", "a")
+        tr.instant(2.0, "mem", "b")
+        tr.clear()
+        assert len(tr) == 0 and tr.dropped == 0 and tr.last_ts == 0.0
+
+
+class TestCounterTimeline:
+    def test_sampler_fires_on_interval(self):
+        tr = Tracer(counter_interval_ns=100.0)
+        tr.attach_sampler(lambda: [("d0", "dimm", {"bytes": 1})])
+        tr.instant(0.0, "mem", "a")      # crosses the t=0 boundary
+        tr.instant(50.0, "mem", "b")     # within interval: no sample
+        tr.instant(150.0, "mem", "c")    # crosses the next boundary
+        counters = [e for e in tr.events() if e.ph == "C"]
+        assert [e.ts for e in counters] == [0.0, 150.0]
+        assert counters[0].args == {"bytes": 1}
+
+    def test_latest_sampler_wins(self):
+        tr = Tracer(counter_interval_ns=100.0)
+        tr.attach_sampler(lambda: [("d0", "old", {"v": 1})])
+        tr.instant(0.0, "mem", "a")
+        tr.attach_sampler(lambda: [("d0", "new", {"v": 2})])
+        tr.instant(10.0, "mem", "b")     # new sampler's deadline reset
+        names = [e.name for e in tr.events() if e.ph == "C"]
+        assert names == ["old", "new"]
+
+    def test_sample_now(self):
+        tr = Tracer(counter_interval_ns=1e12)
+        tr.attach_sampler(lambda: [("d0", "dimm", {"v": 7})])
+        tr.instant(5.0, "mem", "a")
+        tr.sample_now()
+        counters = [e for e in tr.events() if e.ph == "C"]
+        assert counters and counters[-1].ts == 5.0
+
+    def test_interval_none_disables_sampling(self):
+        tr = Tracer(counter_interval_ns=None)
+        tr.attach_sampler(lambda: [("d0", "dimm", {"v": 1})])
+        tr.instant(0.0, "mem", "a")
+        assert all(e.ph != "C" for e in tr.events())
+
+
+class TestInstallation:
+    def test_off_by_default(self):
+        assert current_tracer() is None
+
+    def test_install_uninstall(self):
+        tr = Tracer()
+        assert install(tr) is None
+        try:
+            assert current_tracer() is tr
+        finally:
+            assert uninstall() is tr
+        assert current_tracer() is None
+
+    def test_recording_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with recording() as tr:
+                assert current_tracer() is tr
+                raise RuntimeError("boom")
+        assert current_tracer() is None
+
+    def test_machine_picks_up_installed_tracer(self):
+        from repro.sim import Machine
+
+        with recording() as tr:
+            m = Machine()
+            assert m.tracer is tr
+        assert Machine().tracer is None
