@@ -13,6 +13,9 @@ Commands:
 * ``compare a b``         — diff two run manifests for metric drift
 * ``faults run [...]``    — chaos matrix: crash x tear x poison sweep
   (``--trace-dir`` records fault instants per case)
+* ``bench [--quick]``     — wall-clock microbenchmarks of the
+  simulator's hot paths; ``--compare old.json`` exits 1 on a >20%
+  throughput regression
 * ``calibrate``           — the headline paper-vs-measured numbers
 * ``guidelines``          — print the four best practices
 * ``audit --access N ...``— audit an access pattern against them
@@ -289,6 +292,11 @@ def cmd_audit(args):
     return 1
 
 
+def cmd_bench(args):
+    from repro.bench import main as bench_main
+    return bench_main(args)
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -373,6 +381,15 @@ def build_parser():
     faults.add_argument("--trace-dir", default=None,
                         help="write a Chrome trace per chaos case into "
                              "this directory")
+    bench = sub.add_parser(
+        "bench", help="wall-clock microbenchmarks of the simulator")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads for smoke runs")
+    bench.add_argument("--out", default="BENCH_sim.json",
+                       help="result path (default: BENCH_sim.json)")
+    bench.add_argument("--compare", default=None, metavar="BASELINE",
+                       help="exit 1 if any benchmark loses >20%% "
+                            "ops/s vs this earlier result file")
     sub.add_parser("calibrate", help="paper-vs-measured headline numbers")
     sub.add_parser("guidelines", help="print the four best practices")
     audit = sub.add_parser("audit", help="audit an access pattern")
@@ -403,6 +420,7 @@ def main(argv=None):
         "cache": cmd_cache,
         "compare": cmd_compare,
         "faults": cmd_faults,
+        "bench": cmd_bench,
         "guidelines": cmd_guidelines,
         "audit": cmd_audit,
     }

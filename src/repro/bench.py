@@ -1,0 +1,155 @@
+"""Timed microbenchmarks of the simulator itself (``repro bench``).
+
+Every other number this package produces lives in *virtual* time; this
+module is the one place that measures *wall-clock* performance of the
+simulation engine, so speedups (and regressions) in the hot paths are
+visible and enforceable.  Four benchmarks cover the regimes that
+stress different code:
+
+* ``idle_latency``   — pointer-chase-style single reads (per-line path,
+  no contention, dominated by the namespace/cache fast path);
+* ``bandwidth_1t``   — one saturating non-temporal stream (the batched
+  ``yield_every`` fast path and the single-workload scheduler bypass);
+* ``contention_8t``  — eight store+clwb streams (the per-beat scheduler
+  heap, shared-link booking and XPBuffer eviction back-pressure);
+* ``sweep_quick``    — the quick sweep grid end to end (everything,
+  including the harness and the same-simulation point memo).
+
+Results land in ``BENCH_sim.json`` as ``{name: {wall_s, sim_ops,
+ops_per_s}}`` where ``sim_ops`` counts simulated cache-line operations
+(samples for the latency benchmark), so ``ops_per_s`` is comparable
+across machines of the same class.  ``--compare old.json`` exits
+non-zero when any benchmark loses more than 20% throughput against the
+baseline file — the regression gate `scripts/` and CI can hold on to.
+"""
+
+import json
+import time
+
+from repro._units import CACHELINE, KIB
+
+#: Relative ops/s loss versus the baseline that fails ``--compare``.
+REGRESSION_TOLERANCE = 0.20
+
+
+def _timed(fn):
+    """Run ``fn`` once; returns (wall_s, sim_ops) from its return."""
+    started = time.perf_counter()
+    sim_ops = fn()
+    wall = time.perf_counter() - started
+    return wall, sim_ops
+
+
+def bench_idle_latency(quick=False):
+    """Unloaded random read latency: the per-line load path."""
+    from repro.lattester.latency import read_latency
+    samples = 2000 if quick else 10000
+    read_latency(kind="optane", pattern="rand", samples=samples)
+    return samples
+
+
+def bench_bandwidth_1t(quick=False):
+    """One saturating ntstore stream: the batched single-thread path."""
+    from repro.lattester.bandwidth import measure_bandwidth
+    per_thread = (256 if quick else 2048) * KIB
+    result = measure_bandwidth(kind="optane", op="ntstore", threads=1,
+                               access=256, pattern="seq",
+                               per_thread=per_thread)
+    return result.total_bytes // CACHELINE
+
+
+def bench_contention_8t(quick=False):
+    """Eight store+clwb streams: per-beat scheduling and contention."""
+    from repro.lattester.bandwidth import measure_bandwidth
+    per_thread = (16 if quick else 64) * KIB
+    result = measure_bandwidth(kind="optane", op="clwb", threads=8,
+                               access=256, pattern="rand",
+                               per_thread=per_thread)
+    return result.total_bytes // CACHELINE
+
+
+def bench_sweep_quick(quick=False):
+    """The quick sweep grid, serially, without the on-disk cache."""
+    from repro.lattester.sweep import QUICK_GRID, sweep_grid
+    per_thread = (8 if quick else 48) * KIB
+    records = sweep_grid(dict(QUICK_GRID), per_thread=per_thread)
+    lines = per_thread // CACHELINE
+    return sum(lines * rec["threads"] for rec in records)
+
+
+BENCHMARKS = (
+    ("idle_latency", bench_idle_latency),
+    ("bandwidth_1t", bench_bandwidth_1t),
+    ("contention_8t", bench_contention_8t),
+    ("sweep_quick", bench_sweep_quick),
+)
+
+
+def run_benchmarks(quick=False, progress=None):
+    """Run every benchmark; returns ``{name: {wall_s, sim_ops, ops_per_s}}``.
+
+    Each benchmark starts from a clean slate — the same-simulation
+    point memo is cleared so one benchmark cannot pre-warm another.
+    """
+    from repro.lattester.bandwidth import clear_point_memo
+    results = {}
+    for name, fn in BENCHMARKS:
+        clear_point_memo()
+        wall, sim_ops = _timed(lambda: fn(quick=quick))
+        results[name] = {
+            "wall_s": round(wall, 4),
+            "sim_ops": sim_ops,
+            "ops_per_s": round(sim_ops / wall, 1) if wall > 0 else 0.0,
+        }
+        if progress is not None:
+            progress(name, results[name])
+    return results
+
+
+def compare(baseline, current, tolerance=REGRESSION_TOLERANCE):
+    """Benchmarks in ``current`` that regressed versus ``baseline``.
+
+    Returns a list of ``(name, old_ops_per_s, new_ops_per_s)`` for
+    every benchmark present in both whose throughput dropped by more
+    than ``tolerance``.  Benchmarks only one side knows are skipped
+    (adding or retiring a benchmark is not a regression).
+    """
+    regressions = []
+    for name, old in baseline.items():
+        new = current.get(name)
+        if new is None:
+            continue
+        old_rate = old.get("ops_per_s", 0.0)
+        new_rate = new.get("ops_per_s", 0.0)
+        if old_rate > 0 and new_rate < old_rate * (1.0 - tolerance):
+            regressions.append((name, old_rate, new_rate))
+    return regressions
+
+
+def main(args):
+    """Entry point for ``python -m repro bench``."""
+    def progress(name, row):
+        print("  %-14s %8.3f s   %10d ops   %12.0f ops/s"
+              % (name, row["wall_s"], row["sim_ops"], row["ops_per_s"]))
+
+    print("benchmarking simulator hot paths%s ..."
+          % (" (quick)" if args.quick else ""))
+    results = run_benchmarks(quick=args.quick, progress=progress)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("wrote %s" % args.out)
+    if args.compare is None:
+        return 0
+    with open(args.compare) as fh:
+        baseline = json.load(fh)
+    regressions = compare(baseline, results)
+    if not regressions:
+        print("no benchmark regressed more than %d%% vs %s"
+              % (int(REGRESSION_TOLERANCE * 100), args.compare))
+        return 0
+    for name, old_rate, new_rate in regressions:
+        print("REGRESSION: %s  %.0f -> %.0f ops/s (%.0f%%)"
+              % (name, old_rate, new_rate,
+                 100.0 * (new_rate - old_rate) / old_rate))
+    return 1

@@ -8,8 +8,29 @@ DIMMs during the run.
 from dataclasses import dataclass
 
 from repro._units import KIB, gb_per_s
-from repro.lattester.access import address_stream, make_kernel, staggered_base
+from repro.lattester.access import (
+    address_stream, auto_yield_every, make_kernel, staggered_base,
+    stream_signature,
+)
 from repro.sim import Machine, aggregate, effective_write_ratio, run_workloads
+from repro.sim import engine as _engine
+from repro.telemetry.tracer import current_tracer
+
+#: Within-process memo of experiment points that are provably the same
+#: simulation: a fresh machine plus an identical per-line instruction
+#: stream yields an identical result, so e.g. the sequential rows of a
+#: sweep — whose expanded line sequence does not depend on the access
+#: size — are computed once.  Only the four measured numbers are
+#: stored; the echo fields (op/access/pattern) always come from the
+#: caller's request.  Disabled alongside the other fast paths
+#: (``REPRO_FASTPATH=0``) and whenever a tracer is active, a machine is
+#: supplied, or non-default kernel arguments are in play.
+_POINT_MEMO = {}
+
+
+def clear_point_memo():
+    """Drop all memoized points (tests and long-lived processes)."""
+    _POINT_MEMO.clear()
 
 
 @dataclass
@@ -42,6 +63,29 @@ def measure_bandwidth(kind="optane", op="read", threads=4, access=256,
     to ``socket`` while the namespace may live elsewhere (NUMA tests
     pass ``kind="optane-remote"``).
     """
+    kernel_kwargs.setdefault("yield_every", auto_yield_every(threads))
+    memo_key = None
+    if (machine is None and _engine.FASTPATH_ENABLED
+            and current_tracer() is None
+            and not (kernel_kwargs.keys() - {"yield_every"})):
+        # Fresh machine, no tracer, default kernel shape: the result is
+        # a pure function of the expanded per-line streams and the
+        # device/op selection, so an earlier identical point can be
+        # replayed (see ``stream_signature`` for the stream proof).
+        memo_key = (
+            kind, op, threads, socket, ns_socket, drain, per_thread,
+            kernel_kwargs["yield_every"],
+            tuple(stream_signature(
+                staggered_base(tid, per_thread), per_thread, access,
+                pattern, seed=77 + tid, stride=stride)
+                for tid in range(threads)))
+        hit = _POINT_MEMO.get(memo_key)
+        if hit is not None:
+            gbps, elapsed, total, ewr = hit
+            return BandwidthResult(
+                gbps=gbps, elapsed_ns=elapsed, total_bytes=total,
+                ewr=ewr, threads=threads, op=op, access=access,
+                pattern=pattern)
     m = machine if machine is not None else Machine()
     ns = m.namespace(kind) if ns_socket is None else \
         m.namespace(kind, socket=ns_socket)
@@ -61,11 +105,15 @@ def measure_bandwidth(kind="optane", op="read", threads=4, access=256,
             dimm.drain(elapsed)
     deltas = ns.counter_deltas(snaps)
     total = per_thread * threads
+    gbps = gb_per_s(total, elapsed)
+    ewr = effective_write_ratio(aggregate(deltas))
+    if memo_key is not None:
+        _POINT_MEMO[memo_key] = (gbps, elapsed, total, ewr)
     return BandwidthResult(
-        gbps=gb_per_s(total, elapsed),
+        gbps=gbps,
         elapsed_ns=elapsed,
         total_bytes=total,
-        ewr=effective_write_ratio(aggregate(deltas)),
+        ewr=ewr,
         threads=threads,
         op=op,
         access=access,

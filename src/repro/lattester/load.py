@@ -12,7 +12,8 @@ from dataclasses import dataclass
 
 from repro._units import CACHELINE, KIB, gb_per_s
 from repro.lattester.access import (
-    address_stream, ntstore_kernel, read_kernel, staggered_base,
+    address_stream, auto_yield_every, ntstore_kernel, read_kernel,
+    staggered_base,
 )
 from repro.sim import Machine, run_workloads
 
@@ -39,18 +40,19 @@ def loaded_latency(kind="optane", op="read", threads=16, pattern="seq",
     ns = m.namespace(kind)
     ts = [t.collect_latencies() for t in m.threads(threads)]
     pairs = []
+    batch = auto_yield_every(threads)
     for t in ts:
         region = span if pattern == "rand" else per_thread
         base = staggered_base(t.tid, region)
+        limit = per_thread // CACHELINE if pattern == "rand" else None
         addrs = address_stream(base, region, CACHELINE, pattern,
-                               seed=31 + t.tid)
-        if pattern == "rand":
-            count = per_thread // CACHELINE
-            addrs = (a for _, a in zip(range(count), addrs))
+                               seed=31 + t.tid, limit=limit)
         if op == "read":
-            gen = read_kernel(ns, t, addrs, CACHELINE, delay_ns=delay_ns)
+            gen = read_kernel(ns, t, addrs, CACHELINE, delay_ns=delay_ns,
+                              yield_every=batch)
         elif op == "ntstore":
-            gen = ntstore_kernel(ns, t, addrs, CACHELINE, delay_ns=delay_ns)
+            gen = ntstore_kernel(ns, t, addrs, CACHELINE, delay_ns=delay_ns,
+                                 yield_every=batch)
         else:
             raise ValueError("op must be 'read' or 'ntstore'")
         pairs.append((t, gen))

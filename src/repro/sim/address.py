@@ -64,14 +64,16 @@ class DataStore:
 
     def persist_line(self, line_addr):
         """Copy one cache line from the volatile to the persistent view."""
-        addr = align_down(line_addr, CACHELINE)
-        page = addr // _PAGE
-        off = addr % _PAGE
+        addr = line_addr - (line_addr % CACHELINE)
+        page, off = divmod(addr, _PAGE)
         src = self._volatile.get(page)
         if src is None:
             return
-        self._page(self._persistent, page)[off:off + CACHELINE] = \
-            src[off:off + CACHELINE]
+        dst = self._persistent.get(page)
+        if dst is None:
+            dst = bytearray(_PAGE)
+            self._persistent[page] = dst
+        dst[off:off + CACHELINE] = src[off:off + CACHELINE]
 
     def persist_range(self, addr, size):
         """Persist every line overlapping ``[addr, addr+size)``."""
@@ -132,6 +134,7 @@ def split_lines(addr, size):
 
 def line_addresses(addr, size):
     """The distinct cache-line base addresses touched by a range."""
-    first = align_down(addr, CACHELINE)
-    last = align_down(addr + size - 1, CACHELINE)
+    first = addr - (addr % CACHELINE)
+    last = addr + size - 1
+    last -= last % CACHELINE
     return range(first, last + CACHELINE, CACHELINE)

@@ -25,10 +25,22 @@ class CacheModel:
         self._ways = config.ways
         nsets = max(1, config.capacity_bytes // 64 // config.ways)
         self._nsets = nsets
-        self._sets = [dict() for _ in range(nsets)]
+        # Sets are allocated lazily (index -> {key: entry}): a fresh
+        # machine per sweep point would otherwise pay for tens of
+        # thousands of empty dicts it never touches.
+        self._sets = {}
         self._stamp = 0
         self.hits = 0
         self.misses = 0
+
+    def _table(self, key):
+        """The (lazily created) set table that ``key`` maps to."""
+        index = self._index(key)
+        table = self._sets.get(index)
+        if table is None:
+            table = {}
+            self._sets[index] = table
+        return table
 
     def _index(self, key):
         ns_id, line = key
@@ -46,7 +58,8 @@ class CacheModel:
 
     def lookup(self, key):
         """True if ``key`` is cached; refreshes its recency."""
-        entry = self._sets[self._index(key)].get(key)
+        table = self._sets.get(self._index(key))
+        entry = table.get(key) if table is not None else None
         if entry is None:
             self.misses += 1
             return False
@@ -55,8 +68,87 @@ class CacheModel:
         return True
 
     def is_dirty(self, key):
-        entry = self._sets[self._index(key)].get(key)
+        table = self._sets.get(self._index(key))
+        entry = table.get(key) if table is not None else None
         return bool(entry and entry[1])
+
+    # -- fused hot-path helpers ------------------------------------------------
+    #
+    # The per-line access paths used to hash every key twice (lookup
+    # then fill, mark_dirty then fill, ready_time then clean).  These
+    # helpers hash once and hand the set table back to the caller so the
+    # follow-up mutation can reuse it.  Counter and recency ("stamp")
+    # sequences are identical to the two-call forms.
+
+    def probe(self, key):
+        """Like :meth:`lookup` but also returns the set table.
+
+        Returns ``(hit, table)``; on a hit the entry's recency is
+        refreshed, on a miss the table is what :meth:`fill_in` needs.
+        """
+        h = ((key[1] >> 6) * _HASH_MULT + key[0] * 40503) & 0xFFFFFFFF
+        h ^= h >> 16                             # _index, inlined
+        h = (h * 0x45D9F3B) & 0xFFFFFFFF
+        sets = self._sets
+        index = (h ^ (h >> 13)) % self._nsets
+        table = sets.get(index)
+        if table is None:
+            table = sets[index] = {}
+        entry = table.get(key)
+        if entry is None:
+            self.misses += 1
+            return False, table
+        entry[0] = self._tick()
+        self.hits += 1
+        return True, table
+
+    def store_probe(self, key):
+        """Like :meth:`mark_dirty` but also returns the set table.
+
+        Returns ``(marked, table)``.  Does not touch the hit/miss
+        counters, matching ``mark_dirty`` + ``fill``.
+        """
+        h = ((key[1] >> 6) * _HASH_MULT + key[0] * 40503) & 0xFFFFFFFF
+        h ^= h >> 16                             # _index, inlined
+        h = (h * 0x45D9F3B) & 0xFFFFFFFF
+        sets = self._sets
+        index = (h ^ (h >> 13)) % self._nsets
+        table = sets.get(index)
+        if table is None:
+            table = sets[index] = {}
+        entry = table.get(key)
+        if entry is None:
+            return False, table
+        entry[0] = self._tick()
+        entry[1] = True
+        return True, table
+
+    def fill_in(self, table, key, dirty=False, ready_ns=0.0):
+        """:meth:`fill` for a key already known absent from ``table``."""
+        victim = None
+        if len(table) >= self._ways:
+            vkey = min(table, key=lambda k: table[k][0])
+            ventry = table.pop(vkey)
+            victim = (vkey, ventry[1])
+        table[key] = [self._tick(), dirty, ready_ns]
+        return victim
+
+    def clean_ready(self, key):
+        """Fused :meth:`ready_time` + :meth:`clean`.
+
+        Returns ``(was_dirty, ready_ns)``; ``ready_ns`` is 0.0 when the
+        line is absent or already clean (callers only use it for dirty
+        lines).
+        """
+        h = ((key[1] >> 6) * _HASH_MULT + key[0] * 40503) & 0xFFFFFFFF
+        h ^= h >> 16                             # _index, inlined
+        h = (h * 0x45D9F3B) & 0xFFFFFFFF
+        table = self._sets.get((h ^ (h >> 13)) % self._nsets)
+        entry = table.get(key) if table is not None else None
+        if entry is None or not entry[1]:
+            return False, 0.0
+        entry[1] = False
+        return True, entry[2]
 
     # -- mutations ------------------------------------------------------------
 
@@ -68,7 +160,7 @@ class CacheModel:
         then (the RFO-coupling that penalises store+clwb on fresh
         lines).
         """
-        table = self._sets[self._index(key)]
+        table = self._table(key)
         existing = table.get(key)
         if existing is not None:
             existing[0] = self._tick()
@@ -85,14 +177,16 @@ class CacheModel:
 
     def ready_time(self, key):
         """When the line's fill completes (0.0 if unknown/absent)."""
-        entry = self._sets[self._index(key)].get(key)
+        table = self._sets.get(self._index(key))
+        entry = table.get(key) if table is not None else None
         if entry is None:
             return 0.0
         return entry[2]
 
     def mark_dirty(self, key):
         """Mark a (present) line dirty; returns False if not cached."""
-        entry = self._sets[self._index(key)].get(key)
+        table = self._sets.get(self._index(key))
+        entry = table.get(key) if table is not None else None
         if entry is None:
             return False
         entry[0] = self._tick()
@@ -104,7 +198,8 @@ class CacheModel:
 
         Returns True if the line was dirty (i.e. a write-back happens).
         """
-        entry = self._sets[self._index(key)].get(key)
+        table = self._sets.get(self._index(key))
+        entry = table.get(key) if table is not None else None
         if entry is None or not entry[1]:
             return False
         entry[1] = False
@@ -112,23 +207,25 @@ class CacheModel:
 
     def invalidate(self, key):
         """clflush/ntstore semantics: drop the line; True if it was dirty."""
-        table = self._sets[self._index(key)]
-        entry = table.pop(key, None)
+        h = ((key[1] >> 6) * _HASH_MULT + key[0] * 40503) & 0xFFFFFFFF
+        h ^= h >> 16                             # _index, inlined
+        h = (h * 0x45D9F3B) & 0xFFFFFFFF
+        table = self._sets.get((h ^ (h >> 13)) % self._nsets)
+        entry = table.pop(key, None) if table is not None else None
         return bool(entry and entry[1])
 
     def drop_all(self):
         """Power failure: every line (dirty or not) is lost."""
-        for table in self._sets:
-            table.clear()
+        self._sets.clear()
 
     def dirty_keys(self):
         """All currently dirty lines (used by tests and crash checks)."""
         out = []
-        for table in self._sets:
+        for table in self._sets.values():
             for key, entry in table.items():
                 if entry[1]:
                     out.append(key)
         return out
 
     def occupancy(self):
-        return sum(len(table) for table in self._sets)
+        return sum(len(table) for table in self._sets.values())

@@ -7,6 +7,8 @@ write-combining buffer and no wear levelling — which is precisely why
 DRAM "emulation" of persistent memory misses so much behaviour.
 """
 
+from heapq import heapreplace as _heapreplace
+
 from repro._units import CACHELINE
 from repro.sim.counters import DimmCounters
 from repro.sim.engine import Resource
@@ -45,25 +47,54 @@ class DRAMDimm:
 
     def read(self, now, dev_addr):
         """Serve one 64 B read; returns the data-ready time."""
+        cfg = self._cfg
         self.counters.imc_read_bytes += CACHELINE
-        row_hit = self._row_hit(dev_addr)
+        row = dev_addr // cfg.row_bytes          # _row_hit, inlined
+        bank = row % cfg.banks
+        rows = self._open_rows
+        row_hit = rows.get(bank) == row
+        rows[bank] = row
         if row_hit:
-            occ = self._cfg.row_hit_occupancy_ns
+            occ = cfg.row_hit_occupancy_ns
         else:
-            occ = self._cfg.row_miss_occupancy_ns
-        start, end = self._banks.acquire(now, occ)
+            occ = cfg.row_miss_occupancy_ns
+        banks = self._banks                      # acquire, inlined
+        free = banks._free
+        earliest = free[0]
+        start = earliest if earliest > now else now
+        end = start + occ
+        if banks._single:
+            free[0] = end
+        else:
+            _heapreplace(free, end)
+        banks.busy_ns += occ
+        if end > banks._last_end:
+            banks._last_end = end
         if self._tracer is not None:
             self._tracer.complete(
                 start, "dram", "dram.read", end - start, track=self.name,
                 args={"row_hit": row_hit, "queued_ns": start - now})
-        return end + self._cfg.read_extra_ns
+        return end + cfg.read_extra_ns
 
     def ingest_write(self, now, dev_addr):
         """Accept one 64 B write; returns the accept time."""
+        cfg = self._cfg
         self.counters.imc_write_bytes += CACHELINE
-        self._row_hit(dev_addr)
-        start, end = self._write_slots.acquire(
-            now, self._cfg.write_occupancy_ns)
+        row = dev_addr // cfg.row_bytes          # _row_hit, inlined
+        self._open_rows[row % cfg.banks] = row
+        occ = cfg.write_occupancy_ns
+        slots = self._write_slots                # acquire, inlined
+        free = slots._free
+        earliest = free[0]
+        start = earliest if earliest > now else now
+        end = start + occ
+        if slots._single:
+            free[0] = end
+        else:
+            _heapreplace(free, end)
+        slots.busy_ns += occ
+        if end > slots._last_end:
+            slots._last_end = end
         if self._tracer is not None:
             self._tracer.complete(
                 start, "dram", "dram.write", end - start, track=self.name,

@@ -10,7 +10,24 @@ host machine speed.
 """
 
 import heapq
+import os
+from bisect import bisect_left
 from collections import deque
+
+#: Master switch for the batched fast paths (kernel ``yield_every``
+#: batching and the single-workload scheduler bypass).  Both are
+#: byte-identical to the reference per-beat execution; the switch
+#: exists so CI determinism gates can prove it (``REPRO_FASTPATH=0``)
+#: and so the equivalence tests can drive both paths in one process.
+FASTPATH_ENABLED = os.environ.get("REPRO_FASTPATH", "1") != "0"
+
+
+def set_fastpath(enabled):
+    """Toggle the batched fast paths at runtime (returns prior value)."""
+    global FASTPATH_ENABLED
+    prior = FASTPATH_ENABLED
+    FASTPATH_ENABLED = bool(enabled)
+    return prior
 
 
 class Resource:
@@ -21,7 +38,7 @@ class Resource:
     ``end = start + occupancy`` is when the server frees up.
     """
 
-    __slots__ = ("name", "_free", "busy_ns", "_last_end")
+    __slots__ = ("name", "_free", "_single", "busy_ns", "_last_end")
 
     def __init__(self, name, servers):
         if servers < 1:
@@ -29,15 +46,26 @@ class Resource:
         self.name = name
         self._free = [0.0] * servers
         heapq.heapify(self._free)
+        self._single = servers == 1
         self.busy_ns = 0.0
         self._last_end = 0.0
 
     def acquire(self, now, occupancy):
         """Occupy one server for ``occupancy`` ns, starting at or after ``now``."""
-        earliest = heapq.heappop(self._free)
-        start = earliest if earliest > now else now
-        end = start + occupancy
-        heapq.heappush(self._free, end)
+        free = self._free
+        if self._single:
+            # One server: the heap is a single slot, skip heapq entirely.
+            earliest = free[0]
+            start = earliest if earliest > now else now
+            end = start + occupancy
+            free[0] = end
+        else:
+            # The booked server is always the root (the earliest-free
+            # one), so pop+push collapses into one sift-down.
+            earliest = free[0]
+            start = earliest if earliest > now else now
+            end = start + occupancy
+            heapq.heapreplace(free, end)
         self.busy_ns += occupancy
         if end > self._last_end:
             self._last_end = end
@@ -66,11 +94,17 @@ class BackfillResource:
     interleaving flits from many agents.
     """
 
-    __slots__ = ("name", "_gaps", "_tail", "busy_ns", "max_gaps")
+    __slots__ = ("name", "_gap_start", "_gap_end", "_tail", "busy_ns",
+                 "max_gaps")
 
     def __init__(self, name, max_gaps=128):
         self.name = name
-        self._gaps = []              # sorted [(start, end)]
+        # Disjoint idle gaps, sorted: parallel (start, end) lists so the
+        # first fitting gap can be located with one bisect instead of a
+        # linear scan over dead fragments (the old list-of-tuples scan
+        # was the hottest function in a multi-thread sweep).
+        self._gap_start = []
+        self._gap_end = []
         self._tail = 0.0
         self.busy_ns = 0.0
         self.max_gaps = max_gaps
@@ -78,37 +112,68 @@ class BackfillResource:
     def acquire(self, now, occupancy):
         """Book ``occupancy`` ns at or after ``now``; returns (start, end)."""
         self.busy_ns += occupancy
-        for i, (gs, ge) in enumerate(self._gaps):
-            start = gs if gs > now else now
-            if start + occupancy <= ge:
+        starts = self._gap_start
+        ends = self._gap_end
+        if starts:
+            # A gap [gs, ge) fits iff max(gs, now) + occupancy <= ge,
+            # i.e. min(ge - gs, ge - now) >= occupancy — impossible when
+            # ge < now + occupancy.  Gaps are disjoint and sorted, so
+            # their ends are increasing and every gap before this bisect
+            # point is infeasible: skipping them preserves first-fit
+            # placement exactly.
+            i = bisect_left(ends, now + occupancy)
+            n = len(starts)
+            while i < n:
+                gs = starts[i]
+                ge = ends[i]
+                start = gs if gs > now else now
                 end = start + occupancy
-                replacement = []
-                if start - gs > 1e-9:
-                    replacement.append((gs, start))
-                if ge - end > 1e-9:
-                    replacement.append((end, ge))
-                self._gaps[i:i + 1] = replacement
-                return start, end
-        start = self._tail if self._tail > now else now
-        if start - self._tail > 1e-9:
-            self._gaps.append((self._tail, start))
-            if len(self._gaps) > self.max_gaps:
-                self._gaps.pop(0)
+                if end <= ge:
+                    keep_s = []
+                    keep_e = []
+                    if start - gs > 1e-9:
+                        keep_s.append(gs)
+                        keep_e.append(start)
+                    if ge - end > 1e-9:
+                        keep_s.append(end)
+                        keep_e.append(ge)
+                    starts[i:i + 1] = keep_s
+                    ends[i:i + 1] = keep_e
+                    return start, end
+                i += 1
+        tail = self._tail
+        start = tail if tail > now else now
+        if start - tail > 1e-9:
+            starts.append(tail)
+            ends.append(start)
+            if len(starts) > self.max_gaps:
+                del starts[0]
+                del ends[0]
         end = start + occupancy
         self._tail = end
         return start, end
 
     def next_free_at(self):
-        if self._gaps:
-            return self._gaps[0][0]
+        if self._gap_start:
+            return self._gap_start[0]
         return self._tail
+
+    @property
+    def _gaps(self):
+        """The idle gaps as ``[(start, end)]`` (introspection helper)."""
+        return list(zip(self._gap_start, self._gap_end))
+
+    def clear_gaps(self):
+        """Drop all backfillable gaps (pipeline stall semantics)."""
+        del self._gap_start[:]
+        del self._gap_end[:]
 
     @property
     def _last_end(self):
         return self._tail
 
     def reset(self, now=0.0):
-        self._gaps = []
+        self.clear_gaps()
         self._tail = now
         self.busy_ns = 0.0
 
@@ -163,7 +228,7 @@ class DirectionalLink(BackfillResource):
             self.turnarounds += 1
             # A turnaround stalls the whole pipeline: nothing may be
             # backfilled into earlier idle slots across it.
-            self._gaps.clear()
+            self.clear_gaps()
         self._direction = direction
         self._source = source
         return self.acquire(now, cost)
@@ -306,23 +371,83 @@ class Scheduler:
     def spawn(self, thread, generator):
         self._entries.append([thread, generator, False])
 
+    def reset(self):
+        """Forget all workloads, finished or not.
+
+        ``run`` marks entries finished but used to leave them in
+        ``self._entries`` forever, so a scheduler reused across
+        ``spawn``/``run`` cycles grew without bound (and ``threads``
+        kept reporting long-dead workloads).  Call this between cycles;
+        :func:`run_workloads` does so automatically.
+        """
+        del self._entries[:]
+
     def run(self):
         """Drive all workloads to completion; returns the final max clock."""
-        heap = [(e[0].now, i) for i, e in enumerate(self._entries) if not e[2]]
+        entries = self._entries
+        live = [e for e in entries if not e[2]]
+        if len(live) == 1 and FASTPATH_ENABLED:
+            # One live workload: no interleaving decisions to make, so
+            # drain its generator in a tight loop with no heap traffic.
+            # Virtual time is advanced by the simulated operations
+            # themselves, so the result is identical to the heap path.
+            entry = live[0]
+            for _ in entry[1]:
+                pass
+            entry[2] = True
+            return max((e[0].now for e in entries), default=0.0)
+        # Heap items carry the thread and the generator's bound __next__
+        # to avoid re-indexing entries every step; idx is unique per
+        # entry so ordering — (now, idx) — matches the reference
+        # scheduler exactly and the trailing fields never compare.
+        heap = [(e[0].now, i, e[0], e[1].__next__)
+                for i, e in enumerate(entries) if not e[2]]
         heapq.heapify(heap)
+        heappop = heapq.heappop
+        heapreplace = heapq.heapreplace
         while heap:
-            _, idx = heapq.heappop(heap)
-            entry = self._entries[idx]
-            thread, gen, finished = entry
-            if finished:
+            item = heap[0]
+            idx = item[1]
+            thread = item[2]
+            step = item[3]
+            # Keys are (now, idx) and idx is unique, so pop order is a
+            # total order on current keys.  The root entry's stored key
+            # may go stale while we run ahead, but we only do so while
+            # its *current* key stays strictly below the smaller root
+            # child (the minimum of everything else in the heap), so
+            # the workload we step is always the one the pop-push loop
+            # would have picked.  While we run ahead the rest of the
+            # heap is untouched, so that minimum is computed once per
+            # root tenure, not per step.
+            n = len(heap)
+            if n > 2:
+                a = heap[1]
+                b = heap[2]
+                other = a if a < b else b
+            elif n == 2:
+                other = heap[1]
+            else:
+                # Last live workload: drain it, no ordering left to do.
+                try:
+                    while True:
+                        step()
+                except StopIteration:
+                    entries[idx][2] = True
+                    heappop(heap)
                 continue
+            onow = other[0]
+            oidx = other[1]
             try:
-                next(gen)
+                while True:
+                    step()
+                    now = thread.now
+                    if now > onow or (now == onow and idx > oidx):
+                        heapreplace(heap, (now, idx, thread, step))
+                        break
             except StopIteration:
-                entry[2] = True
-                continue
-            heapq.heappush(heap, (thread.now, idx))
-        return max((e[0].now for e in self._entries), default=0.0)
+                entries[idx][2] = True
+                heappop(heap)
+        return max((e[0].now for e in entries), default=0.0)
 
     @property
     def threads(self):
@@ -332,9 +457,13 @@ class Scheduler:
 def run_workloads(pairs):
     """Convenience wrapper: run ``[(thread, generator), ...]`` to completion.
 
-    Returns the largest finishing thread clock.
+    Returns the largest finishing thread clock.  The scheduler is reset
+    afterwards so no references to finished generators linger.
     """
     sched = Scheduler()
     for thread, gen in pairs:
         sched.spawn(thread, gen)
-    return sched.run()
+    try:
+        return sched.run()
+    finally:
+        sched.reset()

@@ -7,6 +7,8 @@ read/write bandwidth gap); wear-levelling stalls from the AIT are
 charged to the access that triggered them.
 """
 
+from heapq import heapreplace as _heapreplace
+
 from repro._units import XPLINE
 from repro.sim.ait import AddressIndirectionTable
 from repro.sim.engine import Resource
@@ -39,15 +41,32 @@ class XPMedia:
 
     def read_line(self, now, xpline):
         """Fetch one XPLine; returns (bank_free_at, data_ready_at)."""
-        occ = self._scaled(self._cfg.read_occupancy_ns, now)
-        start, end = self._banks.acquire(now, occ)
+        cfg = self._cfg
+        budget = cfg.power_budget                # _scaled, inlined
+        if budget <= 0:
+            raise ValueError("power budget must be positive")
+        occ = cfg.read_occupancy_ns / budget
+        if self.fault_controller is not None:
+            occ *= self.fault_controller.throttle_factor(now)
+        banks = self._banks                      # acquire, inlined
+        free = banks._free
+        earliest = free[0]
+        start = earliest if earliest > now else now
+        end = start + occ
+        if banks._single:
+            free[0] = end
+        else:
+            _heapreplace(free, end)
+        banks.busy_ns += occ
+        if end > banks._last_end:
+            banks._last_end = end
         self.counters.media_read_bytes += XPLINE
         if self._tracer is not None:
             self._tracer.complete(
                 start, "media", "media.read", end - start,
                 track=self.name, args={"xpline": xpline,
                                        "queued_ns": start - now})
-        return end, end + self._cfg.read_extra_ns
+        return end, end + cfg.read_extra_ns
 
     def write_line(self, now, xpline):
         """Write one full XPLine; returns the time the bank frees up.
@@ -56,9 +75,32 @@ class XPMedia:
         migration stall, which is how the 50 us outliers back-pressure
         the pipeline all the way to the application store.
         """
-        occ = self._scaled(self._cfg.write_occupancy_ns, now)
-        stall = self._record_write(now, xpline)
-        start, end = self._banks.acquire(now, occ + stall)
+        cfg = self._cfg
+        budget = cfg.power_budget                # _scaled, inlined
+        if budget <= 0:
+            raise ValueError("power budget must be positive")
+        occ = cfg.write_occupancy_ns / budget
+        if self.fault_controller is not None:
+            occ *= self.fault_controller.throttle_factor(now)
+        if self._tracer is None:                 # _record_write, inlined
+            stall = self.ait.record_write(xpline)
+            if stall:
+                self.counters.migrations += 1
+        else:
+            stall = self._record_write(now, xpline)
+        occ += stall
+        banks = self._banks                      # acquire, inlined
+        free = banks._free
+        earliest = free[0]
+        start = earliest if earliest > now else now
+        end = start + occ
+        if banks._single:
+            free[0] = end
+        else:
+            _heapreplace(free, end)
+        banks.busy_ns += occ
+        if end > banks._last_end:
+            banks._last_end = end
         self.counters.media_write_bytes += XPLINE
         if self._tracer is not None:
             self._tracer.complete(
@@ -74,12 +116,38 @@ class XPMedia:
         The read and the write occupy the same bank back to back, which
         is why small stores with poor locality are so expensive.
         """
-        occ = (self._scaled(self._cfg.read_occupancy_ns, now)
-               + self._scaled(self._cfg.write_occupancy_ns, now))
-        stall = self._record_write(now, xpline)
-        start, end = self._banks.acquire(now, occ + stall)
-        self.counters.media_read_bytes += XPLINE
-        self.counters.media_write_bytes += XPLINE
+        cfg = self._cfg
+        budget = cfg.power_budget                # _scaled x2, inlined
+        if budget <= 0:
+            raise ValueError("power budget must be positive")
+        occ = cfg.read_occupancy_ns / budget + \
+            cfg.write_occupancy_ns / budget
+        if self.fault_controller is not None:
+            factor = self.fault_controller.throttle_factor(now)
+            occ = (cfg.read_occupancy_ns / budget * factor
+                   + cfg.write_occupancy_ns / budget * factor)
+        if self._tracer is None:                 # _record_write, inlined
+            stall = self.ait.record_write(xpline)
+            if stall:
+                self.counters.migrations += 1
+        else:
+            stall = self._record_write(now, xpline)
+        occ += stall
+        banks = self._banks                      # acquire, inlined
+        free = banks._free
+        earliest = free[0]
+        start = earliest if earliest > now else now
+        end = start + occ
+        if banks._single:
+            free[0] = end
+        else:
+            _heapreplace(free, end)
+        banks.busy_ns += occ
+        if end > banks._last_end:
+            banks._last_end = end
+        counters = self.counters
+        counters.media_read_bytes += XPLINE
+        counters.media_write_bytes += XPLINE
         if self._tracer is not None:
             self._tracer.complete(
                 start, "media", "media.rmw", end - start,

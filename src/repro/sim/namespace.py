@@ -18,8 +18,16 @@ pending insertions this thread ordered.
 """
 
 from repro._units import CACHELINE
+from repro.sim import engine as _engine
 from repro.sim.address import DataStore, line_addresses
 from repro.sim.imc import wpq_insert_latency
+
+# Cache-index hash constants, kept in lockstep with
+# repro.sim.cache.CacheModel._index (the fused per-line paths inline
+# the hash so the tag lookup and the later mutation share one table
+# reference).
+_HASH_MULT = 2654435761
+_HASH_MIX = 0x45D9F3B
 
 
 class Namespace:
@@ -35,6 +43,47 @@ class Namespace:
         self._mapping = mapping
         self.data = DataStore()
         self._cfg = machine.config
+        # Hot-path bindings: the per-line paths run millions of times
+        # per sweep, so chained attribute lookups are hoisted here.  The
+        # config *objects* are stable after construction (individual
+        # fields like media.power_budget may still be mutated later and
+        # are re-read per access); WPQ insert latencies are pure
+        # functions of construction-time config, so they are folded.
+        self._cache_cfg = machine.config.cache
+        self._caches = machine.caches
+        self._insert_nt_ns = wpq_insert_latency(
+            machine.config.wpq, "nt", is_optane)
+        self._insert_clwb_ns = wpq_insert_latency(
+            machine.config.wpq, "clwb", is_optane)
+        # Per-device hot tuples unwrap the MemoryChannel so the per-line
+        # paths can book its links without going through the thin
+        # transfer_* wrappers.  The channel cfg object rides along (its
+        # fields are read per access, like the other config objects).
+        self._dev = tuple(
+            (ch._read_link, ch._write_link, ch._cfg, dimm)
+            for ch, dimm in devices)
+        if getattr(mapping, "dimms", 0) == 1:
+            # Non-interleaved: one device, device address == address.
+            self._only = devices[getattr(mapping, "dimm_index", 0)]
+            self._only_dev = self._dev[getattr(mapping, "dimm_index", 0)]
+            self._block_bytes = 0
+            self._ndimms = 1
+        else:
+            self._only = None
+            self._only_dev = None
+            self._block_bytes = mapping.block_bytes
+            self._ndimms = mapping.dimms
+        # The fused per-line paths (_store_clwb_line, _ntstore_line)
+        # flatten the whole store pipeline into one function.  They are
+        # only equivalent when no subclass specializes the primitives
+        # they fold together and nothing is tracing; otherwise — and
+        # under REPRO_FASTPATH=0 — the composed generic path runs.
+        cls = type(self)
+        self._plain = (
+            cls._send_store is Namespace._send_store
+            and cls._store_line is Namespace._store_line
+            and cls._load_line is Namespace._load_line
+            and machine.tracer is None)
 
     # -- helpers --------------------------------------------------------------
 
@@ -56,44 +105,93 @@ class Namespace:
 
     def load(self, thread, addr, size=CACHELINE):
         """Issue loads covering ``[addr, addr+size)``; returns last completion."""
+        if not addr % CACHELINE and 0 < size <= CACHELINE:
+            return self._load_line(thread, addr)
         completion = thread.now
         for line in line_addresses(addr, size):
             completion = self._load_line(thread, line)
         return completion
 
     def _load_line(self, thread, line):
-        cfg = self._cfg.cache
+        cfg = self._cache_cfg
         thread.now += cfg.issue_ns
         issued = thread.now
-        cache = self._cache(thread)
-        key = (self.ns_id, line)
-        if cache.lookup(key):
+        cache = self._caches[thread.socket]
+        ns_id = self.ns_id
+        key = (ns_id, line)
+        h = ((line >> 6) * _HASH_MULT + ns_id * 40503) & 0xFFFFFFFF
+        h ^= h >> 16                             # cache.probe, inlined
+        h = (h * _HASH_MIX) & 0xFFFFFFFF
+        sets = cache._sets
+        index = (h ^ (h >> 13)) % cache._nsets
+        table = sets.get(index)
+        if table is None:
+            table = sets[index] = {}
+        entry = table.get(key)
+        if entry is not None:
+            stamp = cache._stamp + 1
+            cache._stamp = stamp
+            entry[0] = stamp
+            cache.hits += 1
             completion = thread.now + cfg.hit_ns
             thread.now = completion
             thread.bytes_read += CACHELINE
             if thread.latencies is not None:
-                thread.record_latency(completion - issued)
+                thread.latencies.append(completion - issued)
             return completion
-        thread.admit_load()
+        cache.misses += 1
+        loads = thread._loads
+        if len(loads) >= thread.load_window:     # admit_load, inlined
+            done = loads.popleft()
+            if done > thread.now:
+                thread.now = done
         start = thread.now
-        remote = self._remote(thread)
+        machine = self.machine
+        remote = thread.socket != self.socket
         if remote:
-            start = self.machine.upi.read_transfer(
+            start = machine.upi.read_transfer(
                 start, source=thread.tid, heavy=self.is_optane)
-        channel, dimm = self._route(line)
-        ch_end = channel.transfer_read(start)
-        data_ready = dimm.read(ch_end, self._dev_addr(line))
+        only = self._only_dev
+        if only is None:
+            block, offset = divmod(line, self._block_bytes)
+            sub, index = divmod(block, self._ndimms)
+            rlink, _, ccfg, dimm = self._dev[index]
+            dev_addr = sub * self._block_bytes + offset
+        else:
+            rlink, _, ccfg, dimm = only
+            dev_addr = line
+        occ_r = ccfg.read_occ_ns
+        if rlink._gap_start:
+            _, ch_end = rlink.acquire(start, occ_r)
+        else:
+            # Gap list empty: tail booking only (acquire, inlined; the
+            # gap this booking may open behind itself cannot overflow
+            # the bound since the list was empty).
+            rlink.busy_ns += occ_r
+            tail = rlink._tail
+            rstart = tail if tail > start else start
+            if rstart - tail > 1e-9:
+                rlink._gap_start.append(tail)
+                rlink._gap_end.append(rstart)
+            ch_end = rstart + occ_r
+            rlink._tail = ch_end
+        data_ready = dimm.read(ch_end, dev_addr)
         if remote:
-            data_ready += self.machine.upi.read_extra_ns
-        victim = cache.fill(key, ready_ns=data_ready)
-        if victim is not None and victim[1]:
-            self.machine._evict_writeback(victim[0], thread.now)
-        thread.track_load(data_ready)
+            data_ready += machine.upi.read_extra_ns
+        if len(table) >= cache._ways:
+            victim = cache.fill_in(table, key, ready_ns=data_ready)
+            if victim is not None and victim[1]:
+                machine._evict_writeback(victim[0], thread.now)
+        else:
+            stamp = cache._stamp + 1             # fill_in sans victim,
+            cache._stamp = stamp                 # inlined
+            table[key] = [stamp, False, data_ready]
+        loads.append(data_ready)                 # track_load, inlined
         thread.bytes_read += CACHELINE
         if thread.latencies is not None:
-            thread.record_latency(data_ready - issued)
-        if self.machine.tracer is not None:
-            self.machine.tracer.complete(
+            thread.latencies.append(data_ready - issued)
+        if machine.tracer is not None:
+            machine.tracer.complete(
                 issued, "mem", "load.fill", data_ready - issued,
                 track="t%d" % thread.tid,
                 args={"line": line, "ns": self.name, "remote": remote})
@@ -109,37 +207,89 @@ class Namespace:
         """Cached stores covering the range (durable only after a flush)."""
         if data is not None:
             self.data.write(addr, data)
+        if not addr % CACHELINE and 0 < size <= CACHELINE:
+            self._store_line(thread, addr)
+            return
         for line in line_addresses(addr, size):
             self._store_line(thread, line)
 
     def _store_line(self, thread, line):
-        cfg = self._cfg.cache
-        thread.now += cfg.issue_ns
-        cache = self._cache(thread)
-        key = (self.ns_id, line)
-        if cache.mark_dirty(key):
+        thread.now += self._cache_cfg.issue_ns
+        cache = self._caches[thread.socket]
+        ns_id = self.ns_id
+        key = (ns_id, line)
+        h = ((line >> 6) * _HASH_MULT + ns_id * 40503) & 0xFFFFFFFF
+        h ^= h >> 16                        # cache.store_probe, inlined
+        h = (h * _HASH_MIX) & 0xFFFFFFFF
+        sets = cache._sets
+        index = (h ^ (h >> 13)) % cache._nsets
+        table = sets.get(index)
+        if table is None:
+            table = sets[index] = {}
+        entry = table.get(key)
+        if entry is not None:
+            stamp = cache._stamp + 1
+            cache._stamp = stamp
+            entry[0] = stamp
+            entry[1] = True
             return
         # Write-allocate: fetch the line before modifying it (RFO).
-        thread.admit_load()
+        loads = thread._loads
+        if len(loads) >= thread.load_window:     # admit_load, inlined
+            done = loads.popleft()
+            if done > thread.now:
+                thread.now = done
         start = thread.now
-        remote = self._remote(thread)
+        machine = self.machine
+        remote = thread.socket != self.socket
         if remote:
-            start = self.machine.upi.read_transfer(
+            start = machine.upi.read_transfer(
                 start, source=thread.tid, heavy=self.is_optane)
-        channel, dimm = self._route(line)
-        ch_end = channel.transfer_read(start)
-        data_ready = dimm.read(ch_end, self._dev_addr(line))
+        only = self._only_dev
+        if only is None:
+            block, offset = divmod(line, self._block_bytes)
+            sub, index = divmod(block, self._ndimms)
+            rlink, _, ccfg, dimm = self._dev[index]
+            dev_addr = sub * self._block_bytes + offset
+        else:
+            rlink, _, ccfg, dimm = only
+            dev_addr = line
+        occ_r = ccfg.read_occ_ns
+        if rlink._gap_start:
+            _, ch_end = rlink.acquire(start, occ_r)
+        else:
+            # Gap list empty: tail booking only (acquire, inlined; the
+            # gap this booking may open behind itself cannot overflow
+            # the bound since the list was empty).
+            rlink.busy_ns += occ_r
+            tail = rlink._tail
+            rstart = tail if tail > start else start
+            if rstart - tail > 1e-9:
+                rlink._gap_start.append(tail)
+                rlink._gap_end.append(rstart)
+            ch_end = rstart + occ_r
+            rlink._tail = ch_end
+        data_ready = dimm.read(ch_end, dev_addr)
         if remote:
-            data_ready += self.machine.upi.read_extra_ns
-        victim = cache.fill(key, dirty=True, ready_ns=data_ready)
-        if victim is not None and victim[1]:
-            self.machine._evict_writeback(victim[0], thread.now)
-        thread.track_load(data_ready)
+            data_ready += machine.upi.read_extra_ns
+        if len(table) >= cache._ways:
+            victim = cache.fill_in(table, key, dirty=True,
+                                   ready_ns=data_ready)
+            if victim is not None and victim[1]:
+                machine._evict_writeback(victim[0], thread.now)
+        else:
+            stamp = cache._stamp + 1             # fill_in sans victim,
+            cache._stamp = stamp                 # inlined
+            table[key] = [stamp, True, data_ready]
+        loads.append(data_ready)                 # track_load, inlined
 
     # -- flushes ----------------------------------------------------------------
 
     def clwb(self, thread, addr, size=CACHELINE):
         """Write back (without evicting) every line of the range."""
+        if not addr % CACHELINE and 0 < size <= CACHELINE:
+            self._clwb_line(thread, addr)
+            return
         self._flush(thread, addr, size, invalidate=False)
 
     def clflushopt(self, thread, addr, size=CACHELINE):
@@ -150,19 +300,39 @@ class Namespace:
     # by callers fencing after each line.
     clflush = clflushopt
 
+    def _clwb_line(self, thread, line):
+        """Write back one (line-aligned) cache line; ``clwb`` semantics.
+
+        Exactly the single-line body of :meth:`_flush` without the
+        range plumbing — the per-line kernel paths call this directly.
+        """
+        thread.now += self._cache_cfg.flush_issue_ns
+        dirty, ready = self._caches[thread.socket].clean_ready(
+            (self.ns_id, line))
+        if dirty:
+            self._send_store(thread, line, instr="clwb", ordered=True,
+                             not_before=ready)
+
     def _flush(self, thread, addr, size, invalidate):
-        cache = self._cache(thread)
-        for line in line_addresses(addr, size):
-            thread.now += self._cfg.cache.flush_issue_ns
-            key = (self.ns_id, line)
-            ready = cache.ready_time(key)
+        cache = self._caches[thread.socket]
+        flush_issue_ns = self._cache_cfg.flush_issue_ns
+        ns_id = self.ns_id
+        send = self._send_store
+        if not addr % CACHELINE and 0 < size <= CACHELINE:
+            lines = (addr,)
+        else:
+            lines = line_addresses(addr, size)
+        for line in lines:
+            thread.now += flush_issue_ns
+            key = (ns_id, line)
             if invalidate:
+                ready = cache.ready_time(key)
                 dirty = cache.invalidate(key)
             else:
-                dirty = cache.clean(key)
+                dirty, ready = cache.clean_ready(key)
             if dirty:
-                self._send_store(thread, line, instr="clwb", ordered=True,
-                                 not_before=ready)
+                send(thread, line, instr="clwb", ordered=True,
+                     not_before=ready)
 
     # -- non-temporal stores -------------------------------------------------------
 
@@ -170,11 +340,271 @@ class Namespace:
         """Write-combined stores that bypass the cache hierarchy."""
         if data is not None:
             self.data.write(addr, data)
-        cache = self._cache(thread)
+        if not addr % CACHELINE and 0 < size <= CACHELINE:
+            self._ntstore_line(thread, addr)
+            return
+        invalidate = self._caches[thread.socket].invalidate
+        issue_ns = self._cache_cfg.issue_ns
+        ns_id = self.ns_id
+        send = self._send_store
         for line in line_addresses(addr, size):
-            thread.now += self._cfg.cache.issue_ns
-            cache.invalidate((self.ns_id, line))
+            thread.now += issue_ns
+            invalidate((ns_id, line))
+            send(thread, line, instr="nt", ordered=True)
+
+    def _ntstore_line(self, thread, line):
+        """One (line-aligned) non-temporal store; per-line kernel path.
+
+        The fused body below is :meth:`_send_store` with the ``nt``
+        branches resolved and the channel booking inlined — same
+        operations on the same state in the same order, minus the call
+        chain.  Falls back to the composed path whenever a subclass
+        specializes a primitive, a tracer is attached, or the fast path
+        is globally disabled.
+        """
+        thread.now += self._cache_cfg.issue_ns
+        cache = self._caches[thread.socket]
+        ns_id = self.ns_id
+        h = ((line >> 6) * _HASH_MULT + ns_id * 40503) & 0xFFFFFFFF
+        h ^= h >> 16                             # cache.invalidate,
+        h = (h * _HASH_MIX) & 0xFFFFFFFF         # inlined (the dirty
+        table = cache._sets.get(                 # flag is unused here)
+            (h ^ (h >> 13)) % cache._nsets)
+        if table is not None:
+            table.pop((ns_id, line), None)
+        if not (self._plain and _engine.FASTPATH_ENABLED):
             self._send_store(thread, line, instr="nt", ordered=True)
+            return
+        insert_lat = self._insert_nt_ns
+        machine = self.machine
+        remote = thread.socket != self.socket
+        lead = insert_lat
+        if remote:
+            lead += machine.upi.write_extra_ns
+        issued = thread.now
+        stores = thread._stores
+        if len(stores) >= thread.store_window:   # admit_store, inlined
+            done = stores.popleft()
+            if done - lead > thread.now:
+                thread.now = done - lead
+        insert = thread.now + insert_lat
+        if remote:
+            insert = machine.upi.write_transfer(
+                thread.now, source=thread.tid,
+                heavy=self.is_optane) + insert_lat
+            insert += machine.upi.write_extra_ns
+        thread.pending_persists.append(insert)
+        if thread.latencies is not None:
+            thread.latencies.append(insert - issued)
+        only = self._only_dev
+        if only is None:
+            block, offset = divmod(line, self._block_bytes)
+            sub, index = divmod(block, self._ndimms)
+            _, wlink, ccfg, dimm = self._dev[index]
+            dev_addr = sub * self._block_bytes + offset
+        else:
+            _, wlink, ccfg, dimm = only
+            dev_addr = line
+        occ = ccfg.ntstore_occ_ns
+        free = wlink._free                       # single-server write
+        earliest = free[0]                       # link, inlined
+        wstart = earliest if earliest > insert else insert
+        ch_end = wstart + occ
+        free[0] = ch_end
+        wlink.busy_ns += occ
+        if ch_end > wlink._last_end:
+            wlink._last_end = ch_end
+        accept = dimm.ingest_write(ch_end, dev_addr)
+        stores.append(accept)
+        thread.bytes_written += CACHELINE
+        if machine.faults is not None:           # _persist_line, inlined
+            machine.faults.before_persist(self, line)
+        data = self.data
+        if data._volatile:
+            # An empty volatile store means persist_line would no-op;
+            # skip the call (bandwidth kernels never write payloads).
+            data.persist_line(line)
+        if machine._persist_hook is not None:
+            machine._persist_hook()
+
+    def _store_clwb_line(self, thread, line):
+        """``store`` then ``clwb`` of one line — the Figure 2/14 pairing.
+
+        The per-line body of :meth:`_store_line` + :meth:`_clwb_line` +
+        :meth:`_send_store` flattened into one frame, with the cache
+        hash computed once and its set table shared between the store's
+        probe/fill and the flush's clean.  State mutations happen in
+        exactly the order of the composed calls; the composition runs
+        instead whenever it might diverge (subclass overrides, tracer,
+        ``REPRO_FASTPATH=0``).
+        """
+        if not (self._plain and _engine.FASTPATH_ENABLED):
+            self._store_line(thread, line)
+            self._clwb_line(thread, line)
+            return
+        cfg = self._cache_cfg
+        thread.now += cfg.issue_ns
+        cache = self._caches[thread.socket]
+        ns_id = self.ns_id
+        key = (ns_id, line)
+        h = ((line >> 6) * _HASH_MULT + ns_id * 40503) & 0xFFFFFFFF
+        h ^= h >> 16                             # CacheModel._index
+        h = (h * _HASH_MIX) & 0xFFFFFFFF
+        sets = cache._sets
+        index = (h ^ (h >> 13)) % cache._nsets
+        table = sets.get(index)
+        if table is None:
+            table = sets[index] = {}
+        machine = self.machine
+        remote = thread.socket != self.socket
+        only = self._only_dev
+        if only is None:
+            block, offset = divmod(line, self._block_bytes)
+            sub, di = divmod(block, self._ndimms)
+            rlink, wlink, ccfg, dimm = self._dev[di]
+            dev_addr = sub * self._block_bytes + offset
+        else:
+            rlink, wlink, ccfg, dimm = only
+            dev_addr = line
+        entry = table.get(key)                   # store_probe, inlined
+        if entry is not None:
+            stamp = cache._stamp + 1
+            cache._stamp = stamp
+            entry[0] = stamp
+            entry[1] = True
+        else:
+            # Write-allocate: fetch the line before modifying it (RFO).
+            loads = thread._loads
+            if len(loads) >= thread.load_window:  # admit_load, inlined
+                done = loads.popleft()
+                if done > thread.now:
+                    thread.now = done
+            start = thread.now
+            if remote:
+                start = machine.upi.read_transfer(
+                    start, source=thread.tid, heavy=self.is_optane)
+            occ_r = ccfg.read_occ_ns
+            if rlink._gap_start:
+                _, ch_end = rlink.acquire(start, occ_r)
+            else:
+                # Gap list empty: tail booking only (acquire, inlined;
+                # the gap this booking may open behind itself cannot
+                # overflow the bound since the list was empty).
+                rlink.busy_ns += occ_r
+                tail = rlink._tail
+                rstart = tail if tail > start else start
+                if rstart - tail > 1e-9:
+                    rlink._gap_start.append(tail)
+                    rlink._gap_end.append(rstart)
+                ch_end = rstart + occ_r
+                rlink._tail = ch_end
+            data_ready = dimm.read(ch_end, dev_addr)
+            if remote:
+                data_ready += machine.upi.read_extra_ns
+            if len(table) >= cache._ways:
+                victim = cache.fill_in(table, key, dirty=True,
+                                       ready_ns=data_ready)
+                if victim is not None and victim[1]:
+                    machine._evict_writeback(victim[0], thread.now)
+                entry = table[key]
+            else:
+                stamp = cache._stamp + 1         # fill_in sans victim,
+                cache._stamp = stamp             # inlined
+                entry = table[key] = [stamp, True, data_ready]
+            loads.append(data_ready)
+        # -- clwb of the line just stored (always present and dirty) --
+        thread.now += cfg.flush_issue_ns
+        entry[1] = False                         # clean_ready, inlined
+        ready = entry[2]
+        insert_lat = self._insert_clwb_ns        # _send_store, inlined
+        lead = insert_lat
+        if remote:
+            lead += machine.upi.write_extra_ns
+        issued = thread.now
+        stores = thread._stores
+        if len(stores) >= thread.store_window:   # admit_store, inlined
+            done = stores.popleft()
+            if done - lead > thread.now:
+                thread.now = done - lead
+        insert = thread.now + insert_lat
+        nb = ready + insert_lat
+        if nb > insert:
+            insert = nb
+        if remote:
+            insert = machine.upi.write_transfer(
+                thread.now, source=thread.tid,
+                heavy=self.is_optane) + insert_lat
+            insert += machine.upi.write_extra_ns
+        thread.pending_persists.append(insert)
+        if thread.latencies is not None:
+            thread.latencies.append(insert - issued)
+        occ = ccfg.writeback_occ_ns
+        free = wlink._free                       # single-server write
+        earliest = free[0]                       # link, inlined
+        wstart = earliest if earliest > insert else insert
+        ch_end = wstart + occ
+        free[0] = ch_end
+        wlink.busy_ns += occ
+        if ch_end > wlink._last_end:
+            wlink._last_end = ch_end
+        accept = dimm.ingest_write(ch_end, dev_addr)
+        stores.append(accept)
+        thread.bytes_written += CACHELINE
+        if machine.faults is not None:           # _persist_line, inlined
+            machine.faults.before_persist(self, line)
+        data = self.data
+        if data._volatile:
+            # An empty volatile store means persist_line would no-op;
+            # skip the call (bandwidth kernels never write payloads).
+            data.persist_line(line)
+        if machine._persist_hook is not None:
+            machine._persist_hook()
+
+    # -- batched run entry points ----------------------------------------------
+    #
+    # One call per contiguous run of cache lines instead of one call
+    # per line: the per-line work goes through the exact same
+    # primitives (`_load_line`, `_store_line`, `_send_store`) in the
+    # same order, so timing, counters, shared-resource bookings and
+    # trace events are identical to issuing the lines one by one.  Only
+    # the Python wrapper overhead (argument parsing, `line_addresses`
+    # ranges, method dispatch) is amortized.  ``addr`` must be
+    # cache-line aligned — unaligned run batching would straddle an
+    # extra line and is not semantics-preserving (see README).
+
+    def load_run(self, thread, addr, n_lines):
+        """Load ``n_lines`` consecutive lines; returns last completion."""
+        load_line = self._load_line
+        completion = thread.now
+        for _ in range(n_lines):
+            completion = load_line(thread, addr)
+            addr += CACHELINE
+        return completion
+
+    def store_run(self, thread, addr, n_lines, clwb=False):
+        """Store ``n_lines`` consecutive lines, optionally clwb-ing each.
+
+        With ``clwb=True`` every line is written back right after its
+        store, matching the ``store; clwb`` instruction pairing of the
+        flush microbenchmarks.
+        """
+        if not clwb:
+            store_line = self._store_line
+            for _ in range(n_lines):
+                store_line(thread, addr)
+                addr += CACHELINE
+            return
+        store_clwb = self._store_clwb_line
+        for _ in range(n_lines):
+            store_clwb(thread, addr)
+            addr += CACHELINE
+
+    def ntstore_run(self, thread, addr, n_lines):
+        """Issue ``n_lines`` consecutive non-temporal stores."""
+        nt_line = self._ntstore_line
+        for _ in range(n_lines):
+            nt_line(thread, addr)
+            addr += CACHELINE
 
     # -- the store pipeline ---------------------------------------------------------
 
@@ -184,24 +614,30 @@ class Namespace:
         ``not_before`` delays the WPQ insertion until the line's cache
         fill has completed (a write-back cannot outrun its own RFO).
         """
-        insert_lat = wpq_insert_latency(self._cfg.wpq, instr, self.is_optane)
-        remote = self._remote(thread)
+        nt = instr == "nt"
+        insert_lat = self._insert_nt_ns if nt else self._insert_clwb_ns
+        machine = self.machine
+        remote = thread.socket != self.socket
         lead = insert_lat
         if remote:
-            lead += self.machine.upi.write_extra_ns
+            lead += machine.upi.write_extra_ns
         issued = thread.now
-        thread.admit_store(lead_ns=lead)
+        stores = thread._stores
+        if len(stores) >= thread.store_window:   # admit_store, inlined
+            done = stores.popleft()
+            if done - lead > thread.now:
+                thread.now = done - lead
         stalled = thread.now - issued       # per-thread WPQ back-pressure
         insert = max(thread.now + insert_lat, not_before + insert_lat)
         if remote:
-            insert = self.machine.upi.write_transfer(
+            insert = machine.upi.write_transfer(
                 thread.now, source=thread.tid,
                 heavy=self.is_optane) + insert_lat
-            insert += self.machine.upi.write_extra_ns
+            insert += machine.upi.write_extra_ns
         if ordered:
             thread.pending_persists.append(insert)
-        if self.machine.tracer is not None:
-            self.machine.tracer.complete(
+        if machine.tracer is not None:
+            machine.tracer.complete(
                 issued, "wpq", "wpq.insert." + instr, insert - issued,
                 track="t%d" % thread.tid,
                 args={"line": line, "ns": self.name,
@@ -210,16 +646,37 @@ class Namespace:
             # A store's latency, as seen by software, is the time until
             # it reaches the ADR domain — including any back-pressure
             # from a full per-thread WPQ allotment.
-            thread.record_latency(insert - issued)
-        channel, dimm = self._route(line)
-        if instr == "nt":
-            ch_end = channel.transfer_ntstore(insert)
+            thread.latencies.append(insert - issued)
+        only = self._only_dev
+        if only is None:
+            block, offset = divmod(line, self._block_bytes)
+            sub, index = divmod(block, self._ndimms)
+            _, wlink, ccfg, dimm = self._dev[index]
+            dev_addr = sub * self._block_bytes + offset
         else:
-            ch_end = channel.transfer_writeback(insert)
-        accept = dimm.ingest_write(ch_end, self._dev_addr(line))
-        thread.track_store(accept)
+            _, wlink, ccfg, dimm = only
+            dev_addr = line
+        occ = ccfg.ntstore_occ_ns if nt else ccfg.writeback_occ_ns
+        free = wlink._free                       # single-server channel
+        earliest = free[0]                       # write link: Resource
+        wstart = earliest if earliest > insert else insert   # .acquire,
+        ch_end = wstart + occ                    # inlined
+        free[0] = ch_end
+        wlink.busy_ns += occ
+        if ch_end > wlink._last_end:
+            wlink._last_end = ch_end
+        accept = dimm.ingest_write(ch_end, dev_addr)
+        stores.append(accept)                    # track_store, inlined
         thread.bytes_written += CACHELINE
-        self._persist_line(line)
+        if machine.faults is not None:           # _persist_line, inlined
+            machine.faults.before_persist(self, line)
+        data = self.data
+        if data._volatile:
+            # An empty volatile store means persist_line would no-op;
+            # skip the call (bandwidth kernels never write payloads).
+            data.persist_line(line)
+        if machine._persist_hook is not None:
+            machine._persist_hook()
         return insert
 
     def _persist_line(self, line):

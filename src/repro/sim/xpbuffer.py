@@ -81,7 +81,7 @@ class XPBuffer:
         line: combining is write-once per subline, so overwriting
         flushes the old contents first).
         """
-        table = self._set_for(xpline)
+        table = self._table[xpline % self._sets]
         entry = table.get(xpline)
         if entry is not None:
             if not entry.dirty_mask & (1 << subline):
@@ -109,7 +109,7 @@ class XPBuffer:
         Returns ``(hit, evicted)``.  A miss allocates a fully valid
         entry (the controller fetches the whole XPLine from media).
         """
-        table = self._set_for(xpline)
+        table = self._table[xpline % self._sets]
         entry = table.get(xpline)
         if entry is not None:
             self.hits += 1

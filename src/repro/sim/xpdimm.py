@@ -16,10 +16,12 @@ controller's accept time for a miss waits for the media bank *booking*
 WPQ, and therefore the application's stores — stall.
 """
 
+from heapq import heapreplace as _heapreplace
+
 from repro._units import CACHELINE, XPLINE
 from repro.sim.counters import DimmCounters
 from repro.sim.media import XPMedia
-from repro.sim.xpbuffer import XPBuffer
+from repro.sim.xpbuffer import BufferEntry, XPBuffer
 
 
 class XPDimm:
@@ -43,16 +45,49 @@ class XPDimm:
     # -- controller entry points -------------------------------------------
 
     def ingest_write(self, now, dev_addr):
-        """Accept one 64 B write from the WPQ; returns the accept time."""
+        """Accept one 64 B write from the WPQ; returns the accept time.
+
+        The body of :meth:`XPBuffer.write` is inlined (same state
+        transitions, counters and FIFO order): this runs once per 64 B
+        store beat, so the extra call and tuple return were measurable.
+        """
         self.counters.imc_write_bytes += CACHELINE
-        xpline = dev_addr // XPLINE
-        subline = (dev_addr % XPLINE) // CACHELINE
-        entry, hit, evicted = self.buffer.write(xpline, subline)
-        accept = now + self._buf_cfg.ingest_ns
-        if not hit and evicted is not None and evicted.dirty:
+        xpline = dev_addr >> 8                   # divmod by XPLINE (256)
+        subline = (dev_addr >> 6) & 3            # ... // CACHELINE (64)
+        buf = self.buffer
+        table = buf._table[xpline % buf._sets]   # buffer.write, inlined
+        entry = table.get(xpline)
+        hit = False
+        evicted = None
+        if entry is not None:
+            bit = 1 << subline
+            if not entry.dirty_mask & bit:
+                entry.dirty_mask |= bit
+                entry.writes += 1
+                buf.hits += 1
+                hit = True
+            else:
+                # Overwrite: flush the old version, restart the entry.
+                del table[xpline]
+                fresh = BufferEntry(xpline, dirty_mask=bit)
+                fresh.writes = entry.writes + 1
+                table[xpline] = fresh
+                buf.misses += 1
+                if entry.dirty_mask:
+                    evicted = entry
+        else:
+            buf.misses += 1
+            if len(table) >= buf._ways:          # _make_room, inlined
+                _, evicted = table.popitem(last=False)
+            fresh = BufferEntry(xpline, dirty_mask=1 << subline)
+            fresh.writes = 1
+            table[xpline] = fresh
+        ingest_ns = self._buf_cfg.ingest_ns
+        accept = now + ingest_ns
+        if not hit and evicted is not None and evicted.dirty_mask:
             bank_start = self._evict(now, evicted)
-            if bank_start + self._buf_cfg.ingest_ns > accept:
-                accept = bank_start + self._buf_cfg.ingest_ns
+            if bank_start + ingest_ns > accept:
+                accept = bank_start + ingest_ns
         if self._tracer is not None:
             if hit:
                 name = "xpbuffer.combine"
@@ -69,11 +104,16 @@ class XPDimm:
         return accept
 
     def read(self, now, dev_addr):
-        """Serve one 64 B read; returns the data-ready time."""
+        """Serve one 64 B read; returns the data-ready time.
+
+        :meth:`XPBuffer.read` is inlined here, like ``ingest_write``.
+        """
         self.counters.imc_read_bytes += CACHELINE
-        xpline = dev_addr // XPLINE
-        hit, evicted = self.buffer.read(xpline)
-        if hit:
+        xpline = dev_addr >> 8                   # // XPLINE (256)
+        buf = self.buffer
+        table = buf._table[xpline % buf._sets]   # buffer.read, inlined
+        if xpline in table:
+            buf.hits += 1
             ready = now + self._buf_cfg.read_hit_ns + \
                 self.media._cfg.read_extra_ns
             if self._tracer is not None:
@@ -81,11 +121,40 @@ class XPDimm:
                     now, "xpbuffer", "xpbuffer.read_hit", ready - now,
                     track=self.name, args={"xpline": xpline})
             return ready
-        if evicted is not None and evicted.dirty:
+        buf.misses += 1
+        evicted = None
+        if len(table) >= buf._ways:              # _make_room, inlined
+            _, evicted = table.popitem(last=False)
+        table[xpline] = BufferEntry(xpline, valid=True)
+        if evicted is not None and evicted.dirty_mask:
             # Reads compete for buffer space: allocating the fill can
             # push a dirty write out to media.
             self._evict(now, evicted)
-        _, data_ready = self.media.read_line(now, xpline)
+        media = self.media
+        if media._tracer is not None:
+            _, data_ready = media.read_line(now, xpline)
+        else:
+            cfg = media._cfg                     # read_line, inlined
+            budget = cfg.power_budget
+            if budget <= 0:
+                raise ValueError("power budget must be positive")
+            occ = cfg.read_occupancy_ns / budget
+            if media.fault_controller is not None:
+                occ *= media.fault_controller.throttle_factor(now)
+            banks = media._banks                 # acquire, inlined
+            free = banks._free
+            earliest = free[0]
+            start = earliest if earliest > now else now
+            end = start + occ
+            if banks._single:
+                free[0] = end
+            else:
+                _heapreplace(free, end)
+            banks.busy_ns += occ
+            if end > banks._last_end:
+                banks._last_end = end
+            media.counters.media_read_bytes += XPLINE
+            data_ready = end + cfg.read_extra_ns
         if self._tracer is not None:
             self._tracer.complete(
                 now, "xpbuffer", "xpbuffer.read_miss", data_ready - now,
@@ -96,15 +165,63 @@ class XPDimm:
         return data_ready
 
     def _evict(self, now, entry):
-        """Write a victim line back to media; returns the bank start time."""
-        if entry.needs_rmw():
-            end = self.media.rmw_line(now, entry.xpline)
-            occ = (self.media._cfg.read_occupancy_ns
-                   + self.media._cfg.write_occupancy_ns)
+        """Write a victim line back to media; returns the bank start time.
+
+        With no tracer attached the bodies of :meth:`XPMedia.rmw_line`
+        / :meth:`XPMedia.write_line` are inlined (same occupancy
+        arithmetic term by term, same AIT bookkeeping, same bank
+        booking); tracing runs the composed calls so media events keep
+        appearing.
+        """
+        media = self.media
+        cfg = media._cfg
+        rmw = entry.needs_rmw()
+        if media._tracer is not None:
+            if rmw:
+                end = media.rmw_line(now, entry.xpline)
+                occ = cfg.read_occupancy_ns + cfg.write_occupancy_ns
+            else:
+                end = media.write_line(now, entry.xpline)
+                occ = cfg.write_occupancy_ns
+            return end - occ
+        budget = cfg.power_budget
+        if budget <= 0:
+            raise ValueError("power budget must be positive")
+        controller = media.fault_controller
+        counters = media.counters
+        if rmw:                                  # rmw_line, inlined
+            raw = cfg.read_occupancy_ns + cfg.write_occupancy_ns
+            if controller is not None:
+                factor = controller.throttle_factor(now)
+                occ = (cfg.read_occupancy_ns / budget * factor
+                       + cfg.write_occupancy_ns / budget * factor)
+            else:
+                occ = cfg.read_occupancy_ns / budget + \
+                    cfg.write_occupancy_ns / budget
+            counters.media_read_bytes += XPLINE
+        else:                                    # write_line, inlined
+            raw = cfg.write_occupancy_ns
+            occ = cfg.write_occupancy_ns / budget
+            if controller is not None:
+                occ *= controller.throttle_factor(now)
+        stall = media.ait.record_write(entry.xpline)
+        if stall:
+            counters.migrations += 1
+        occ += stall
+        banks = media._banks                     # acquire, inlined
+        free = banks._free
+        earliest = free[0]
+        start = earliest if earliest > now else now
+        end = start + occ
+        if banks._single:
+            free[0] = end
         else:
-            end = self.media.write_line(now, entry.xpline)
-            occ = self.media._cfg.write_occupancy_ns
-        return end - occ
+            _heapreplace(free, end)
+        banks.busy_ns += occ
+        if end > banks._last_end:
+            banks._last_end = end
+        counters.media_write_bytes += XPLINE
+        return end - raw
 
     # -- management ----------------------------------------------------------
 
