@@ -13,6 +13,9 @@ Commands:
 * ``compare a b``         — diff two run manifests for metric drift
 * ``faults run [...]``    — chaos matrix: crash x tear x poison sweep
   (``--trace-dir`` records fault instants per case)
+* ``serve ycsb-a lsm``    — YCSB-style serving study of one substrate:
+  closed-loop throughput, the open-loop latency-vs-load curve, and a
+  binary search for the max offered load meeting a p99 SLO
 * ``bench [--quick]``     — wall-clock microbenchmarks of the
   simulator's hot paths; ``--compare old.json`` exits 1 on a >20%
   throughput regression
@@ -297,8 +300,91 @@ def cmd_bench(args):
     return bench_main(args)
 
 
+def cmd_serve(args):
+    import json
+
+    from repro.harness import ResultCache
+    from repro.workloads import SUBSTRATES, WORKLOADS
+    from repro.workloads.saturation import serve
+
+    if args.workload not in WORKLOADS:
+        print("unknown workload: %s" % args.workload, file=sys.stderr)
+        print("valid workloads: %s" % ", ".join(sorted(WORKLOADS)),
+              file=sys.stderr)
+        return 2
+    if args.substrate not in SUBSTRATES:
+        print("unknown substrate: %s" % args.substrate, file=sys.stderr)
+        print("valid substrates: %s" % ", ".join(sorted(SUBSTRATES)),
+              file=sys.stderr)
+        return 2
+    cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
+    report, manifest = serve(
+        args.workload, args.substrate, quick=args.quick,
+        slo_p99_us=args.slo_p99_us, seed=args.seed, jobs=args.jobs,
+        cache=cache, trace_dir=args.trace_dir)
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, sort_keys=True, indent=1,
+                  allow_nan=False)
+        fh.write("\n")
+    manifest.save(args.out + ".manifest.json")
+
+    sat = report["saturation"]
+    closed = report["closed"]
+    print("serving %s on %s%s: %d ops over %d records"
+          % (args.workload, args.substrate,
+             " (quick)" if args.quick else "",
+             report["shape"]["ops"], report["shape"]["records"]))
+    print("closed loop: %.1f kops/s, p99 %.2f us (%d clients)"
+          % (closed["achieved_kops"], closed["latency_us"]["p99"],
+             closed["clients"]))
+    print("latency vs load (offered kops/s -> p99 us):")
+    for point in report["curve"]:
+        print("  %10.1f -> %10.2f" % (point["offered_kops"],
+                                      point["p99_us"]))
+    slo_note = "" if sat["slo_explicit"] else " (default: 10x closed p99)"
+    print("SLO p99 <= %.2f us%s: " % (sat["slo_p99_us"], slo_note),
+          end="")
+    if not sat["slo_met"]:
+        print("NOT met at any probed rate")
+    elif not sat["saturated"]:
+        print("met at every probed rate (max %.1f kops/s offered)"
+              % sat["max_kops"])
+    else:
+        print("max offered %.1f kops/s (%.0f%% of closed-loop)"
+              % (sat["max_kops"],
+                 100.0 * sat["max_kops"] / max(sat["closed_kops"],
+                                               1e-9)))
+    print("report -> %s (+ %s)" % (args.out,
+                                   args.out + ".manifest.json"))
+    return 0
+
+
+#: Every CLI verb, in help order (unknown-verb errors print this).
+COMMANDS = (
+    "list", "run", "trace", "sweep", "serve", "cache", "compare",
+    "faults", "bench", "calibrate", "guidelines", "audit",
+)
+
+
+class _Parser(argparse.ArgumentParser):
+    """An ArgumentParser whose errors follow the ``run`` convention.
+
+    Unknown verbs and unknown arguments alike exit 2 and print the
+    full verb list to stderr, instead of argparse's bare usage line —
+    so every bad invocation tells the user what the CLI *does* accept.
+    Subparsers inherit this class automatically.
+    """
+
+    def error(self, message):
+        self.print_usage(sys.stderr)
+        print("%s: error: %s" % (self.prog, message), file=sys.stderr)
+        print("valid commands: %s" % ", ".join(COMMANDS),
+              file=sys.stderr)
+        raise SystemExit(2)
+
+
 def build_parser():
-    parser = argparse.ArgumentParser(
+    parser = _Parser(
         prog="python -m repro",
         description="FAST'20 scalable-persistent-memory reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -347,6 +433,32 @@ def build_parser():
     sweep.add_argument("--manifest", default=None,
                        help="manifest path (default: <out>.manifest.json)")
     sweep.add_argument("--trace-dir", default=None,
+                       help="write a Chrome trace per freshly computed "
+                            "point into this directory")
+    serve = sub.add_parser(
+        "serve", help="YCSB-style serving study of one substrate")
+    serve.add_argument("workload",
+                       help="traffic mix (ycsb-a..f, pointer-chase, "
+                            "log-append)")
+    serve.add_argument("substrate",
+                       help="service under test (lsm, pmemkv, nova, "
+                            "pmdk)")
+    serve.add_argument("--quick", action="store_true",
+                       help="small shapes for smoke runs")
+    serve.add_argument("--slo-p99-us", type=float, default=None,
+                       help="p99 SLO in microseconds (default: 10x "
+                            "the closed-loop p99)")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="traffic seed (default: 0)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: one per CPU)")
+    serve.add_argument("--out", default="serve.json",
+                       help="report path (default: serve.json)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="recompute every point")
+    serve.add_argument("--cache-dir", default=None,
+                       help="cache root (default: .repro-cache)")
+    serve.add_argument("--trace-dir", default=None,
                        help="write a Chrome trace per freshly computed "
                             "point into this directory")
     cache = sub.add_parser("cache", help="result-cache maintenance")
@@ -411,12 +523,18 @@ def build_parser():
 
 
 def main(argv=None):
-    args = build_parser().parse_args(argv)
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        # _Parser.error and --help raise instead of exiting so that
+        # programmatic callers (tests, scripts) get a return code.
+        return exc.code
     handlers = {
         "list": cmd_list,
         "run": cmd_run,
         "trace": cmd_trace,
         "sweep": cmd_sweep,
+        "serve": cmd_serve,
         "cache": cmd_cache,
         "compare": cmd_compare,
         "faults": cmd_faults,

@@ -13,7 +13,12 @@ stress different code:
 * ``contention_8t``  — eight store+clwb streams (the per-beat scheduler
   heap, shared-link booking and XPBuffer eviction back-pressure);
 * ``sweep_quick``    — the quick sweep grid end to end (everything,
-  including the harness and the same-simulation point memo).
+  including the harness and the same-simulation point memo);
+* ``serve_closed``   — closed-loop YCSB-A against the LSM store (the
+  full serving stack: generators, Service adapter, multi-client
+  scheduler interleaving, WAL + memtable + flush);
+* ``serve_open``     — open-loop YCSB-C against PMemKV (Poisson
+  arrivals, earliest-free-worker dispatch, the cmap read path).
 
 Results land in ``BENCH_sim.json`` as ``{name: {wall_s, sim_ops,
 ops_per_s}}`` where ``sim_ops`` counts simulated cache-line operations
@@ -77,11 +82,43 @@ def bench_sweep_quick(quick=False):
     return sum(lines * rec["threads"] for rec in records)
 
 
+def bench_serve_closed(quick=False):
+    """Closed-loop YCSB-A on the LSM store: the serving stack."""
+    from repro.sim.platform import Machine
+    from repro.workloads import closed_loop, get_workload, make_service
+    records = 192 if quick else 512
+    ops = 480 if quick else 4096
+    spec = get_workload("ycsb-a")
+    machine = Machine()
+    service = make_service("lsm", machine, spec, records=records,
+                           ops=ops, seed=0)
+    report = closed_loop(machine, service, spec, records=records,
+                         ops=ops, clients=4, seed=0)
+    return report["ops"]
+
+
+def bench_serve_open(quick=False):
+    """Open-loop YCSB-C on PMemKV: arrival dispatch near the knee."""
+    from repro.sim.platform import Machine
+    from repro.workloads import get_workload, make_service, open_loop
+    records = 192 if quick else 512
+    ops = 480 if quick else 4096
+    spec = get_workload("ycsb-c")
+    machine = Machine()
+    service = make_service("pmemkv", machine, spec, records=records,
+                           ops=ops, seed=0)
+    report = open_loop(machine, service, spec, records=records,
+                       ops=ops, rate_kops=8000.0, workers=4, seed=0)
+    return report["ops"]
+
+
 BENCHMARKS = (
     ("idle_latency", bench_idle_latency),
     ("bandwidth_1t", bench_bandwidth_1t),
     ("contention_8t", bench_contention_8t),
     ("sweep_quick", bench_sweep_quick),
+    ("serve_closed", bench_serve_closed),
+    ("serve_open", bench_serve_open),
 )
 
 

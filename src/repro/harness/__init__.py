@@ -20,7 +20,7 @@ that makes regenerating such matrices cheap:
 
 from repro.harness.cache import DEFAULT_CACHE_DIR, ResultCache, cache_dir
 from repro.harness.compare import (
-    Comparison, Drift, compare_manifests, numeric_leaves,
+    Comparison, Drift, MetricChange, compare_manifests, numeric_leaves,
 )
 from repro.harness.executor import (
     PointOutcome, effective_jobs, run_points,
@@ -35,7 +35,8 @@ from repro.harness.runner import (
 
 __all__ = [
     "DEFAULT_CACHE_DIR", "ResultCache", "cache_dir",
-    "Comparison", "Drift", "compare_manifests", "numeric_leaves",
+    "Comparison", "Drift", "MetricChange", "compare_manifests",
+    "numeric_leaves",
     "PointOutcome", "effective_jobs", "run_points",
     "canonical_json", "config_fingerprint", "point_key", "to_jsonable",
     "RunManifest",

@@ -29,6 +29,20 @@ class Drift:
 
 
 @dataclass
+class MetricChange:
+    """A metric present in only one run of a matched point."""
+
+    params: dict
+    metric: str
+    value: float
+
+    def __str__(self):
+        return ("%s %s = %.6g"
+                % (canonical_json(self.params), self.metric,
+                   self.value))
+
+
+@dataclass
 class Comparison:
     """The full outcome of diffing manifest ``a`` against ``b``."""
 
@@ -37,16 +51,25 @@ class Comparison:
     only_b: list            # params present only in the second run
     errors_changed: list    # params whose error state differs
     matched: int            # points compared metric-by-metric
+    removed_metrics: list   # MetricChange: metric only in baseline
+    new_metrics: list       # MetricChange: metric only in candidate
 
     @property
     def clean(self):
         return not (self.drifts or self.only_a or self.only_b
-                    or self.errors_changed)
+                    or self.errors_changed or self.removed_metrics
+                    or self.new_metrics)
 
     def summary(self):
         lines = ["compared %d matching points" % self.matched]
         for drift in self.drifts:
-            lines.append("  DRIFT  %s" % drift)
+            lines.append("  DRIFT   %s" % drift)
+        for change in self.removed_metrics:
+            lines.append("  REMOVED %s (metric absent in candidate)"
+                         % change)
+        for change in self.new_metrics:
+            lines.append("  NEW     %s (metric absent in baseline)"
+                         % change)
         for params in self.only_a:
             lines.append("  ONLY-A %s" % canonical_json(params))
         for params in self.only_b:
@@ -92,9 +115,17 @@ def compare_manifests(a, b, tolerance=0.05,
     ``tolerance`` is the maximum allowed relative drift per metric.
     ``ignore`` lists metric path *suffixes* to skip — wall-clock noise
     like per-point elapsed seconds should not trip a regression gate.
+
+    Metric paths are compared over the *union* of both records: a
+    metric present on only one side is reported as removed (baseline
+    only) or new (candidate only) rather than silently skipped — a
+    disappearing metric is exactly the kind of regression a gate must
+    catch, and looking it up on the side that lacks it must not crash
+    the comparison.
     """
     index_a, index_b = _index(a), _index(b)
     drifts, errors_changed = [], []
+    removed_metrics, new_metrics = [], []
     matched = 0
     for key in index_a:
         if key not in index_b:
@@ -106,8 +137,18 @@ def compare_manifests(a, b, tolerance=0.05,
         matched += 1
         metrics_a = numeric_leaves(pa.get("record"))
         metrics_b = numeric_leaves(pb.get("record"))
-        for path in sorted(set(metrics_a) & set(metrics_b)):
+        for path in sorted(set(metrics_a) | set(metrics_b)):
             if any(path.endswith(suffix) for suffix in ignore):
+                continue
+            if path not in metrics_b:
+                removed_metrics.append(MetricChange(
+                    params=pa.get("params"), metric=path,
+                    value=metrics_a[path]))
+                continue
+            if path not in metrics_a:
+                new_metrics.append(MetricChange(
+                    params=pa.get("params"), metric=path,
+                    value=metrics_b[path]))
                 continue
             va, vb = metrics_a[path], metrics_b[path]
             scale = max(abs(va), abs(vb), 1e-12)
@@ -120,4 +161,6 @@ def compare_manifests(a, b, tolerance=0.05,
     only_b = [index_b[k].get("params") for k in sorted(index_b)
               if k not in index_a]
     return Comparison(drifts=drifts, only_a=only_a, only_b=only_b,
-                      errors_changed=errors_changed, matched=matched)
+                      errors_changed=errors_changed, matched=matched,
+                      removed_metrics=removed_metrics,
+                      new_metrics=new_metrics)

@@ -77,7 +77,8 @@ def trace_artifact_path(trace_dir, key):
 
 
 def run_sweep(grid, per_thread=64 * KIB, jobs=None, cache=None,
-              progress=None, name="sweep", version=None, trace_dir=None):
+              progress=None, name="sweep", version=None, trace_dir=None,
+              point_fn=None, experiment=None):
     """Run a full sweep grid through the harness.
 
     Returns a :class:`SweepRun` whose ``records`` are in grid order
@@ -94,12 +95,29 @@ def run_sweep(grid, per_thread=64 * KIB, jobs=None, cache=None,
     tracing never influences content addresses or measured results —
     so a traced run still hits the same cache as an untraced one
     (replayed points have no trace: nothing re-ran).
+
+    ``point_fn`` generalizes the harness beyond bandwidth sweeps: a
+    module-level callable (it must pickle to workers) receiving one
+    payload dict — grid params plus an optional ``trace_path`` — and
+    returning a JSON-able record.  Custom point functions name their
+    own cache ``experiment`` so their content addresses never collide
+    with the bandwidth sweep's; ``per_thread`` is not injected for
+    them.  Everything else — cache discipline, deterministic ordering,
+    manifests, tracing — behaves identically.
     """
     if cache is None:
         cache = ResultCache()
     points = expand_grid(grid)
-    payloads = [dict(p, per_thread=per_thread) for p in points]
-    keys = [point_key(SWEEP_EXPERIMENT, payload, version=version)
+    if point_fn is None:
+        point_fn = _sweep_point
+        experiment = SWEEP_EXPERIMENT if experiment is None else experiment
+        payloads = [dict(p, per_thread=per_thread) for p in points]
+    else:
+        if experiment is None:
+            raise ValueError("a custom point_fn needs an experiment "
+                             "name for its cache keys")
+        payloads = [dict(p) for p in points]
+    keys = [point_key(experiment, payload, version=version)
             for payload in payloads]
     traces = [None] * len(payloads)
     if trace_dir is not None:
@@ -126,7 +144,7 @@ def run_sweep(grid, per_thread=64 * KIB, jobs=None, cache=None,
         else:
             traces[i] = trace_artifact_path(trace_dir, keys[i])
             exec_payloads.append(dict(payloads[i], trace_path=traces[i]))
-    fresh = run_points(_sweep_point, exec_payloads,
+    fresh = run_points(point_fn, exec_payloads,
                        jobs=jobs, progress=progress)
     for slot, outcome in zip(pending, fresh):
         outcome.index = slot
@@ -136,7 +154,7 @@ def run_sweep(grid, per_thread=64 * KIB, jobs=None, cache=None,
             traces[slot] = None            # the point never wrote one
         if outcome.ok:
             cache.put(keys[slot], to_jsonable(outcome.value),
-                      experiment=SWEEP_EXPERIMENT,
+                      experiment=experiment,
                       params=to_jsonable(payloads[slot]),
                       version=version)
 

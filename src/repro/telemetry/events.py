@@ -29,11 +29,12 @@ CAT_UPI = "upi"            # cross-socket interconnect transfers
 CAT_DRAM = "dram"          # DDR4 bank/row activity
 CAT_MEM = "mem"            # CPU-side load fills
 CAT_FAULT = "fault"        # injected faults (repro.faults)
+CAT_SERVE = "serve"        # per-request serving spans (repro.workloads)
 CAT_COUNTER = "counter"    # periodic counter-timeline samples
 
 CATEGORIES = (
     CAT_WPQ, CAT_XPBUFFER, CAT_AIT, CAT_MEDIA, CAT_UPI, CAT_DRAM,
-    CAT_MEM, CAT_FAULT, CAT_COUNTER,
+    CAT_MEM, CAT_FAULT, CAT_SERVE, CAT_COUNTER,
 )
 
 #: Chrome trace_event phases emitted by the tracer.

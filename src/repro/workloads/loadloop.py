@@ -1,0 +1,197 @@
+"""Closed- and open-loop serving drivers.
+
+Two ways of applying a workload to a service, with very different tail
+behavior — the distinction the paper's latency-vs-load curves hinge on:
+
+* **closed loop** — ``clients`` simulated threads each issue their
+  request stream back-to-back: a slow request delays that client's
+  *next* request, so the offered load self-throttles and latency stays
+  near service time even at the throughput ceiling.  Clients are
+  interleaved by the virtual-time scheduler, so contention on shared
+  hardware (WPQ, XPBuffer, media banks) is captured deterministically.
+* **open loop** — requests arrive by a deterministic Poisson process at
+  a configured rate, whether or not earlier requests finished.  Past
+  the saturation knee the queue grows without bound and p99 latency
+  diverges — the behavior closed-loop measurement structurally cannot
+  show (Schroeder et al.'s classic open-vs-closed distinction).
+
+Both record per-request latency and produce the same report shape, so
+reports are directly comparable.  Everything runs on virtual clocks
+from seeded generators: the same arguments produce a byte-identical
+report on any host, serial or parallel.
+"""
+
+from random import Random
+
+from repro.lattester.stats import percentile
+from repro.telemetry.events import CAT_SERVE
+from repro.workloads.generators import (
+    RequestStream, make_key, make_value,
+)
+
+_NS_PER_S = 1e9
+_NS_PER_US = 1e3
+
+#: Latency fractions reported by every serve run.
+LATENCY_FRACTIONS = (0.50, 0.90, 0.99, 0.999)
+
+
+def execute_request(service, thread, spec, req):
+    """Apply one generated request to a service on a thread.
+
+    Returns the op actually performed (rmw stays "rmw").
+    """
+    key = make_key(req.key_index)
+    op = req.op
+    if op == "read":
+        service.get(thread, key)
+    elif op == "update" or op == "insert":
+        service.put(thread, key,
+                    make_value(spec, req.key_index, req.version))
+    elif op == "scan":
+        service.scan(thread, key, req.scan_len)
+    elif op == "rmw":
+        service.get(thread, key)
+        service.put(thread, key,
+                    make_value(spec, req.key_index, req.version))
+    elif op == "delete":
+        service.delete(thread, key)
+    else:
+        raise ValueError("unknown op %r" % op)
+    return op
+
+
+def preload(service, machine, spec, records, seed=0):
+    """Load the initial keyspace; returns the load-end virtual time.
+
+    Every serve run starts from the same populated state: keys
+    ``0..records-1`` at version 0, written by one loader thread.
+    """
+    thread = machine.thread()
+    for index in range(records):
+        service.put(thread, make_key(index),
+                    make_value(spec, index, 0))
+    return thread.now
+
+
+def _trace(machine, thread, op, start, end):
+    tracer = machine.tracer
+    if tracer is not None:
+        tracer.complete(start, CAT_SERVE, op, end - start,
+                        track="client%d" % thread.tid)
+
+
+def _summarize(latencies_ns, ops_by_type, start_ns, end_ns, ops):
+    """The common report body from recorded latencies."""
+    elapsed_s = max(end_ns - start_ns, 1.0) / _NS_PER_S
+    lat = sorted(latencies_ns)
+    latency_us = {}
+    for frac in LATENCY_FRACTIONS:
+        name = "p" + ("%g" % (frac * 100)).replace(".", "")
+        latency_us[name] = round(
+            percentile(lat, frac) / _NS_PER_US, 3)
+    latency_us["mean"] = round(
+        (sum(lat) / len(lat)) / _NS_PER_US, 3) if lat else 0.0
+    latency_us["max"] = round(lat[-1] / _NS_PER_US, 3) if lat else 0.0
+    return {
+        "ops": ops,
+        "ops_by_type": dict(sorted(ops_by_type.items())),
+        "sim_seconds": round(elapsed_s, 9),
+        "achieved_kops": round(ops / elapsed_s / 1e3, 3),
+        "latency_us": latency_us,
+    }
+
+
+def closed_loop(machine, service, spec, records, ops, clients=2,
+                seed=0):
+    """Serve ``ops`` requests from ``clients`` closed-loop clients.
+
+    The op budget is split evenly (the remainder goes to the lowest
+    client ids, keeping the split deterministic).  Returns the report
+    dict.
+    """
+    if clients < 1:
+        raise ValueError("need at least one client")
+    start_ns = preload(service, machine, spec, records, seed=seed)
+    threads = machine.threads(clients)
+    ops_by_type = {}
+    per_client = [ops // clients + (1 if c < ops % clients else 0)
+                  for c in range(clients)]
+
+    def client_loop(thread, client, budget):
+        stream = RequestStream(spec, records, seed=seed, client=client)
+        for req in stream.requests(budget):
+            begin = thread.now
+            op = execute_request(service, thread, spec, req)
+            thread.record_latency(thread.now - begin)
+            _trace(machine, thread, op, begin, thread.now)
+            ops_by_type[op] = ops_by_type.get(op, 0) + 1
+            yield
+
+    pairs = []
+    for client, thread in enumerate(threads):
+        thread.now = start_ns
+        thread.collect_latencies()
+        pairs.append((thread,
+                      client_loop(thread, client, per_client[client])))
+    from repro.sim.engine import run_workloads
+    end_ns = run_workloads(pairs)
+    latencies = []
+    for thread in threads:
+        latencies.extend(thread.latencies)
+    report = _summarize(latencies, ops_by_type, start_ns, end_ns, ops)
+    report["mode"] = "closed"
+    report["clients"] = clients
+    return report
+
+
+def open_loop(machine, service, spec, records, ops, rate_kops,
+              workers=2, seed=0):
+    """Serve ``ops`` Poisson arrivals at ``rate_kops`` thousand ops/s.
+
+    Arrival times come from a seeded exponential interarrival stream —
+    deterministic, like everything else.  Requests are dispatched in
+    arrival order to the earliest-free worker (ties to the lowest id);
+    a request's latency is *completion minus arrival*, so queueing
+    delay while every worker is busy counts against the SLO.  That is
+    the open-loop property: past saturation the backlog — and p99 —
+    grows without bound.
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker")
+    if rate_kops <= 0:
+        raise ValueError("offered rate must be positive")
+    start_ns = preload(service, machine, spec, records, seed=seed)
+    threads = machine.threads(workers)
+    streams = []
+    for worker, thread in enumerate(threads):
+        thread.now = start_ns
+        streams.append(RequestStream(spec, records, seed=seed,
+                                     client=worker))
+    arrival_rng = Random((seed << 8) ^ 0xA221)
+    mean_gap_ns = _NS_PER_S / (rate_kops * 1e3)
+    ops_by_type = {}
+    latencies = []
+    clock = start_ns
+    queue_peak = 0
+    for _ in range(ops):
+        clock += arrival_rng.expovariate(1.0 / mean_gap_ns)
+        # Earliest-free worker; ties resolved by worker id.
+        thread = min(threads, key=lambda t: (t.now, t.tid))
+        waiting = sum(1 for t in threads if t.now > clock)
+        queue_peak = max(queue_peak, waiting)
+        if thread.now < clock:
+            thread.now = clock
+        req = next(streams[thread.tid - threads[0].tid].requests(1))
+        begin = thread.now
+        op = execute_request(service, thread, spec, req)
+        _trace(machine, thread, op, begin, thread.now)
+        ops_by_type[op] = ops_by_type.get(op, 0) + 1
+        latencies.append(thread.now - clock)
+    end_ns = max(t.now for t in threads)
+    report = _summarize(latencies, ops_by_type, start_ns, end_ns, ops)
+    report["mode"] = "open"
+    report["workers"] = workers
+    report["offered_kops"] = round(rate_kops, 3)
+    report["busy_workers_peak"] = queue_peak
+    return report

@@ -112,3 +112,45 @@ class TestCompare:
         with open(path) as fh:
             raw = json.load(fh)
         assert compare_manifests(raw, a).clean
+
+    def test_metric_missing_in_candidate_is_removed_not_crash(self):
+        stripped = [
+            ({"threads": 1}, {"gbps": 2.0}),               # ewr gone
+            ({"threads": 4}, {"gbps": 6.0, "ewr": 0.9}),
+        ]
+        comparison = compare_manifests(_manifest(BASE),
+                                       _manifest(stripped))
+        assert [c.metric for c in comparison.removed_metrics] == ["ewr"]
+        assert comparison.removed_metrics[0].params == {"threads": 1}
+        assert comparison.removed_metrics[0].value == 1.0
+        assert not comparison.new_metrics
+        assert not comparison.clean
+        assert "REMOVED" in comparison.summary()
+
+    def test_metric_missing_in_baseline_is_new_not_crash(self):
+        grown = [
+            ({"threads": 1}, {"gbps": 2.0, "ewr": 1.0, "p99": 7.0}),
+            ({"threads": 4}, {"gbps": 6.0, "ewr": 0.9}),
+        ]
+        comparison = compare_manifests(_manifest(BASE),
+                                       _manifest(grown))
+        assert [c.metric for c in comparison.new_metrics] == ["p99"]
+        assert comparison.new_metrics[0].value == 7.0
+        assert not comparison.removed_metrics
+        assert not comparison.clean
+        assert "NEW" in comparison.summary()
+
+    def test_one_sided_ignored_metric_stays_clean(self):
+        a = [({"x": 1}, {"gbps": 1.0, "elapsed_s": 0.1})]
+        b = [({"x": 1}, {"gbps": 1.0})]
+        assert compare_manifests(_manifest(a), _manifest(b)).clean
+
+    def test_surviving_metrics_still_compared_around_missing_one(self):
+        drifted_and_stripped = [
+            ({"threads": 1}, {"gbps": 9.0}),   # ewr gone AND gbps drift
+            ({"threads": 4}, {"gbps": 6.0, "ewr": 0.9}),
+        ]
+        comparison = compare_manifests(_manifest(BASE),
+                                       _manifest(drifted_and_stripped))
+        assert [d.metric for d in comparison.drifts] == ["gbps"]
+        assert [c.metric for c in comparison.removed_metrics] == ["ewr"]

@@ -1,0 +1,122 @@
+"""The Service protocol: every substrate behind the same five ops."""
+
+import pytest
+
+from repro.sim.platform import Machine
+from repro.workloads import get_workload, make_key, make_service, make_value
+from repro.workloads.loadloop import preload
+
+ALL_SUBSTRATES = ("lsm", "pmemkv", "nova", "pmdk")
+
+
+def build(substrate, records=32, ops=64):
+    spec = get_workload("ycsb-a")
+    machine = Machine()
+    service = make_service(substrate, machine, spec, records=records,
+                           ops=ops, seed=0)
+    return machine, service, spec
+
+
+@pytest.mark.parametrize("substrate", ALL_SUBSTRATES)
+class TestProtocol:
+    def test_put_get_roundtrip(self, substrate):
+        machine, service, spec = build(substrate)
+        thread = machine.thread()
+        value = make_value(spec, 3, 1)
+        service.put(thread, make_key(3), value)
+        assert service.get(thread, make_key(3)) == value
+        assert service.get(thread, make_key(99)) is None
+
+    def test_overwrite_returns_latest(self, substrate):
+        machine, service, spec = build(substrate)
+        thread = machine.thread()
+        service.put(thread, make_key(7), make_value(spec, 7, 1))
+        newer = make_value(spec, 7, 2)
+        service.put(thread, make_key(7), newer)
+        assert service.get(thread, make_key(7)) == newer
+
+    def test_delete(self, substrate):
+        machine, service, spec = build(substrate)
+        thread = machine.thread()
+        service.put(thread, make_key(5), make_value(spec, 5, 1))
+        assert service.delete(thread, make_key(5)) is True
+        assert service.get(thread, make_key(5)) is None
+        assert service.delete(thread, make_key(5)) is False
+
+    def test_scan_returns_ordered_pairs(self, substrate):
+        machine, service, spec = build(substrate)
+        thread = machine.thread()
+        for index in range(10):
+            service.put(thread, make_key(index),
+                        make_value(spec, index, 1))
+        pairs = service.scan(thread, make_key(4), 3)
+        assert [key for key, _ in pairs] == [
+            make_key(4), make_key(5), make_key(6)]
+        assert pairs[0][1] == make_value(spec, 4, 1)
+
+    def test_operations_advance_virtual_time(self, substrate):
+        machine, service, spec = build(substrate)
+        thread = machine.thread()
+        before = thread.now
+        service.put(thread, make_key(1), make_value(spec, 1, 1))
+        service.get(thread, make_key(1))
+        assert thread.now > before
+
+    def test_stats_are_jsonable(self, substrate):
+        import json
+        machine, service, spec = build(substrate)
+        thread = machine.thread()
+        service.put(thread, make_key(1), make_value(spec, 1, 1))
+        json.dumps(service.stats(), sort_keys=True, allow_nan=False)
+
+
+@pytest.mark.parametrize("substrate", ALL_SUBSTRATES)
+class TestRecovery:
+    def test_recover_after_power_fail(self, substrate):
+        spec = get_workload("ycsb-a")
+        machine = Machine()
+        service = make_service(substrate, machine, spec, records=24,
+                               ops=32, seed=0)
+        preload(service, machine, spec, 24)
+        thread = machine.thread()
+        updated = make_value(spec, 3, 9)
+        service.put(thread, make_key(3), updated)        # durable
+        machine.power_fail()
+        recovered, _report = service.recover()
+        check = machine.thread()
+        assert recovered.get(check, make_key(3)) == updated
+        for index in range(24):
+            assert recovered.get(check, make_key(index)) is not None
+
+    def test_recovered_service_keeps_serving(self, substrate):
+        spec = get_workload("ycsb-a")
+        machine = Machine()
+        service = make_service(substrate, machine, spec, records=8,
+                               ops=32, seed=0)
+        preload(service, machine, spec, 8)
+        machine.power_fail()
+        recovered, _ = service.recover()
+        thread = machine.thread()
+        value = make_value(spec, 2, 5)
+        recovered.put(thread, make_key(2), value)
+        assert recovered.get(thread, make_key(2)) == value
+
+
+class TestMakeService:
+    def test_unknown_substrate_lists_names(self):
+        spec = get_workload("ycsb-a")
+        with pytest.raises(KeyError, match="lsm"):
+            make_service("nope", Machine(), spec, records=8)
+
+    def test_insert_only_mix_fits_fixed_tables(self):
+        # log-append writes `ops` fresh keys: cmap buckets and the
+        # pmdk slot table must be sized for records + ops, not records.
+        spec = get_workload("log-append")
+        for substrate in ("pmemkv", "pmdk"):
+            machine = Machine()
+            service = make_service(substrate, machine, spec, records=8,
+                                   ops=200, seed=0)
+            thread = machine.thread()
+            for index in range(8 + 200):
+                service.put(thread, make_key(index),
+                            make_value(spec, index, 1))
