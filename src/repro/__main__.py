@@ -300,6 +300,65 @@ def cmd_bench(args):
     return bench_main(args)
 
 
+def _cmd_serve_chaos(args):
+    """The ``serve --chaos`` path: the fault matrix plus the oracle."""
+    import json
+
+    from repro.chaos_serve import format_violation, run_chaos_serve
+    from repro.harness import ResultCache
+
+    workload = None if args.workload == "all" else args.workload
+    substrate = None if args.substrate == "all" else args.substrate
+    cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
+    try:
+        run = run_chaos_serve(
+            workload=workload, substrate=substrate, quick=args.quick,
+            seed=args.seed, naive=args.naive, jobs=args.jobs,
+            cache=cache, trace_dir=args.trace_dir)
+    except (KeyError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    report = {"cells": run.records, "violations": run.violations}
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, sort_keys=True, indent=1, allow_nan=False)
+        fh.write("\n")
+    run.manifest.save(args.out + ".manifest.json")
+
+    print("chaos serving%s%s: %d cells, seed %d"
+          % (" (quick)" if args.quick else "",
+             " [NAIVE: protections off]" if args.naive else "",
+             len(run.manifest.points), args.seed))
+    for rec in run.records:
+        faults = rec["faults"]
+        print("  %-7s %-8s %-10s %-6s ok=%-4d crashes=%d torn=%-3d "
+              "retries=%-2d violations=%d"
+              % (rec["workload"], rec["substrate"], rec["scenario"],
+                 rec["mode"], rec["results"].get("ok", 0),
+                 faults["crashes"], faults["torn_chunks"],
+                 rec["degrade"]["retries"], len(rec["violations"])))
+    print("report -> %s (+ %s)" % (args.out,
+                                   args.out + ".manifest.json"))
+    if run.failures:
+        for point in run.failures:
+            print("CELL FAILED: %s: %s" % (point["params"],
+                                           point["error"]),
+                  file=sys.stderr)
+        return 1
+    if run.violations:
+        print("\nDURABILITY VIOLATIONS (%d):" % len(run.violations))
+        for v in run.violations:
+            cell = v["cell"]
+            print("[%s/%s/%s/%s]" % (cell["workload"],
+                                     cell["substrate"],
+                                     cell["scenario"], cell["mode"]))
+            print(format_violation(v))
+        return 1
+    print("no durability violations: every acknowledged write "
+          "survived or was reported lost")
+    return 0
+
+
 def cmd_serve(args):
     import json
 
@@ -307,6 +366,11 @@ def cmd_serve(args):
     from repro.workloads import SUBSTRATES, WORKLOADS
     from repro.workloads.saturation import serve
 
+    if args.chaos:
+        return _cmd_serve_chaos(args)
+    if args.naive:
+        print("--naive only applies to --chaos runs", file=sys.stderr)
+        return 2
     if args.workload not in WORKLOADS:
         print("unknown workload: %s" % args.workload, file=sys.stderr)
         print("valid workloads: %s" % ", ".join(sorted(WORKLOADS)),
@@ -443,6 +507,15 @@ def build_parser():
     serve.add_argument("substrate",
                        help="service under test (lsm, pmemkv, nova, "
                             "pmdk)")
+    serve.add_argument("--chaos", action="store_true",
+                       help="chaos serving: inject faults mid-serve, "
+                            "recover, and audit durable "
+                            "linearizability (pass 'all' as workload/"
+                            "substrate to widen the matrix)")
+    serve.add_argument("--naive", action="store_true",
+                       help="with --chaos: disable the degradation "
+                            "layer and crash-consistency hardening "
+                            "(the matrix should catch violations)")
     serve.add_argument("--quick", action="store_true",
                        help="small shapes for smoke runs")
     serve.add_argument("--slo-p99-us", type=float, default=None,

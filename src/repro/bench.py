@@ -18,7 +18,9 @@ stress different code:
   full serving stack: generators, Service adapter, multi-client
   scheduler interleaving, WAL + memtable + flush);
 * ``serve_open``     — open-loop YCSB-C against PMemKV (Poisson
-  arrivals, earliest-free-worker dispatch, the cmap read path).
+  arrivals, earliest-free-worker dispatch, the cmap read path);
+* ``serve_chaos``    — one chaos-serving cell (mid-serve power
+  failures, recovery, and the durability oracle's read-back).
 
 Results land in ``BENCH_sim.json`` as ``{name: {wall_s, sim_ops,
 ops_per_s}}`` where ``sim_ops`` counts simulated cache-line operations
@@ -112,6 +114,24 @@ def bench_serve_open(quick=False):
     return report["ops"]
 
 
+def bench_serve_chaos(quick=False):
+    """One chaos cell: mid-serve power failures, recovery, the oracle.
+
+    Exercises the fault-injection hooks on the persist path, two
+    crash/recover/audit cycles and the durability read-back — the
+    overhead chaos serving adds on top of plain closed-loop serving.
+    """
+    from repro.chaos_serve import chaos_serve_cell
+    records = 160 if quick else 512
+    ops = 400 if quick else 2400
+    record = chaos_serve_cell({
+        "workload": "ycsb-a", "substrate": "lsm",
+        "scenario": "power-fail", "mode": "closed", "naive": False,
+        "seed": 0, "records": records, "ops": ops, "clients": 2,
+    })
+    return record["served"]["ops"]
+
+
 BENCHMARKS = (
     ("idle_latency", bench_idle_latency),
     ("bandwidth_1t", bench_bandwidth_1t),
@@ -119,6 +139,7 @@ BENCHMARKS = (
     ("sweep_quick", bench_sweep_quick),
     ("serve_closed", bench_serve_closed),
     ("serve_open", bench_serve_open),
+    ("serve_chaos", bench_serve_chaos),
 )
 
 

@@ -1,0 +1,159 @@
+"""The chaos matrix: every (workload, substrate, scenario) a harness point.
+
+Each cell is content-addressed under the ``chaos.serve`` experiment, so
+re-running the matrix replays finished cells from the cache and a
+``--jobs 4`` run hits the same addresses as ``--jobs 1``.  The manifest
+is *normalized* — no wall-clock, no job count, no cache-hit flags, keys
+included — so two same-seed runs produce byte-identical manifests
+regardless of parallelism or cache temperature (the regression CI leans
+on exactly this).
+
+The quick grid keeps CI honest without taking minutes: two update-heavy
+workloads x all four substrates x all four scenarios closed-loop, plus
+a handful of open-loop cells (admission control and queue-wait
+deadlines only exist there).  The full grid widens the workloads and
+deepens the shape.  Only value-size-100 workloads are eligible (see
+:mod:`repro.chaos_serve.driver` for the NOVA stride constraint).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.chaos_serve.driver import SCENARIOS, chaos_serve_cell
+from repro.harness.cache import ResultCache
+from repro.harness.manifest import RunManifest
+from repro.harness.runner import run_cached_points
+from repro.workloads.generators import get_workload
+from repro.workloads.service import SUBSTRATES
+
+#: Cache-key experiment name for chaos cells.
+CHAOS_EXPERIMENT = "chaos.serve"
+
+#: Chaos cells require single-slot NOVA writes (stride | page).
+CHAOS_VALUE_SIZE = 100
+
+QUICK_SHAPE = {"records": 160, "ops": 400, "clients": 2}
+FULL_SHAPE = {"records": 768, "ops": 2400, "clients": 3}
+QUICK_WORKLOADS = ("ycsb-a", "ycsb-f")
+FULL_WORKLOADS = ("ycsb-a", "ycsb-b", "ycsb-d", "ycsb-f")
+#: Open-loop cells: offered load and the substrates covered in quick.
+OPEN_RATE_KOPS = 400.0
+QUICK_OPEN_SUBSTRATES = ("lsm", "pmemkv")
+QUICK_OPEN_SCENARIOS = ("power-fail", "thermal")
+
+#: Per-cell worker budget: a stuck cell fails loudly, then retries once.
+CASE_TIMEOUT_S = 180.0
+CASE_RETRIES = 1
+
+
+def build_chaos_grid(workload=None, substrate=None, quick=False,
+                     seed=0, naive=False):
+    """The cell payloads one chaos run covers, in deterministic order.
+
+    ``workload``/``substrate`` restrict the matrix to one value (the
+    CLI's positional arguments); ``None`` means "all eligible".
+    """
+    shape = QUICK_SHAPE if quick else FULL_SHAPE
+    all_workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
+    workloads = [workload] if workload else list(all_workloads)
+    for name in workloads:
+        spec = get_workload(name)
+        if spec.value_size != CHAOS_VALUE_SIZE:
+            raise ValueError(
+                "workload %r has value_size=%d; chaos serving only "
+                "supports value_size=%d workloads (NOVA's slot stride "
+                "must divide the page)" % (name, spec.value_size,
+                                           CHAOS_VALUE_SIZE))
+    substrates = [substrate] if substrate else sorted(SUBSTRATES)
+    base = dict(shape)
+    base["seed"] = seed
+    base["naive"] = bool(naive)
+
+    payloads = []
+    for wname in workloads:
+        for sname in substrates:
+            for scenario in SCENARIOS:
+                payloads.append(dict(base, workload=wname,
+                                     substrate=sname, scenario=scenario,
+                                     mode="closed"))
+    open_workload = workloads[0]
+    open_substrates = [s for s in substrates
+                       if not quick or s in QUICK_OPEN_SUBSTRATES]
+    open_scenarios = QUICK_OPEN_SCENARIOS if quick else SCENARIOS
+    for sname in open_substrates:
+        for scenario in open_scenarios:
+            payloads.append(dict(base, workload=open_workload,
+                                 substrate=sname, scenario=scenario,
+                                 mode="open", rate_kops=OPEN_RATE_KOPS))
+    return payloads
+
+
+@dataclass
+class ChaosServeRun:
+    """One chaos matrix run: records, violations, provenance."""
+
+    manifest: RunManifest
+    records: list
+    violations: list = field(default_factory=list)
+
+    @property
+    def failures(self):
+        return self.manifest.failures
+
+    @property
+    def ok(self):
+        """Clean = every cell ran *and* the oracle stayed silent."""
+        return not self.failures and not self.violations
+
+
+def run_chaos_serve(workload=None, substrate=None, quick=False, seed=0,
+                    naive=False, jobs=None, cache=None, progress=None,
+                    trace_dir=None):
+    """Run the chaos matrix through the harness.
+
+    Returns a :class:`ChaosServeRun`; ``violations`` aggregates every
+    durability violation any cell's oracle reported, each annotated
+    with its cell so the CLI can print the offending history window.
+    """
+    if cache is None:
+        cache = ResultCache()
+    payloads = build_chaos_grid(workload=workload, substrate=substrate,
+                                quick=quick, seed=seed, naive=naive)
+    outcomes, keys, traces = run_cached_points(
+        chaos_serve_cell, payloads, CHAOS_EXPERIMENT, cache=cache,
+        jobs=jobs, progress=progress, timeout_s=CASE_TIMEOUT_S,
+        retries=CASE_RETRIES, trace_dir=trace_dir)
+
+    # Normalized manifest: identical bytes for identical payloads+seed,
+    # whatever the job count or cache state was.
+    manifest = RunManifest(
+        name="chaos-serve-%s" % ("quick" if quick else "full"),
+        grid={"workload": sorted({p["workload"] for p in payloads}),
+              "substrate": sorted({p["substrate"] for p in payloads}),
+              "scenario": list(SCENARIOS),
+              "seed": [seed],
+              "naive": [bool(naive)]},
+        jobs=1, started=0.0)
+    records = []
+    violations = []
+    for payload, outcome, key, trace in zip(payloads, outcomes, keys,
+                                            traces):
+        record = outcome.value
+        if outcome.ok and isinstance(record, dict):
+            record = dict(record)
+            record.pop("trace", None)     # path varies run to run
+        manifest.add_point(params=payload, key=key, record=record,
+                           cached=False, elapsed_s=0.0,
+                           error=outcome.error, trace=trace)
+        if not outcome.ok:
+            continue
+        records.append(outcome.value)
+        for violation in outcome.value.get("violations", ()):
+            violations.append(dict(violation, cell={
+                "workload": payload["workload"],
+                "substrate": payload["substrate"],
+                "scenario": payload["scenario"],
+                "mode": payload["mode"],
+            }))
+    manifest.wall_s = 0.0
+    return ChaosServeRun(manifest=manifest, records=records,
+                         violations=violations)

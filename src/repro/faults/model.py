@@ -170,6 +170,23 @@ class FaultController:
         for xp in _xplines(addr, size):
             self.transient[(ns.ns_id, xp)] = errors
 
+    def transient_site(self, index, errors=1):
+        """The ``index``-th distinct persisted XPLine turns flaky.
+
+        The transient analogue of :meth:`poison_site`: deterministic
+        site selection over the first-persist order, for mid-serve
+        injection where the caller has no namespace handle.  Returns
+        the ``(ns_id, xpline)`` site or None when nothing persisted.
+        """
+        if not self.persist_order:
+            return None
+        site = self.persist_order[index % len(self.persist_order)]
+        self.transient[site] = errors
+        self._trace("fault.transient",
+                    {"ns_id": site[0], "xpline": site[1],
+                     "site": index, "errors": errors})
+        return site
+
     def check_read(self, ns, addr, size, timed=False):
         """Raise :class:`MediaError` if the range hits a fault.
 

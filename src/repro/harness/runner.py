@@ -170,6 +170,69 @@ def run_sweep(grid, per_thread=64 * KIB, jobs=None, cache=None,
     return SweepRun(records=records, manifest=manifest, cache=cache)
 
 
+def run_cached_points(point_fn, payloads, experiment, version=None,
+                      cache=None, jobs=None, progress=None,
+                      timeout_s=None, retries=0, trace_dir=None):
+    """The cache→fan-out middle of :func:`run_sweep`, manifest-free.
+
+    For callers (``repro.chaos_serve.matrix``, and anything else that
+    needs normalized, byte-reproducible manifests) that want the cache
+    discipline and deterministic ordering without ``run_sweep``'s
+    wall-clock-bearing manifest: every payload is looked up in the
+    content-addressed cache, the misses fan out across workers, fresh
+    successes are cached, and the outcomes come back in payload order.
+
+    Returns ``(outcomes, keys, traces)`` — one entry per payload.
+    Cache keys are computed from the *clean* payloads; ``trace_dir``
+    adds a ``trace_path`` only to the executed copies, exactly like
+    :func:`run_sweep`, so traced and untraced runs share content
+    addresses (replayed points have no trace: nothing re-ran).
+    """
+    if cache is None:
+        cache = ResultCache()
+    payloads = [dict(p) for p in payloads]
+    keys = [point_key(experiment, payload, version=version)
+            for payload in payloads]
+    traces = [None] * len(payloads)
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+
+    outcomes = [None] * len(payloads)
+    pending = []
+    for index, (payload, key) in enumerate(zip(payloads, keys)):
+        hit, record = cache.get(key)
+        if hit:
+            outcomes[index] = PointOutcome(
+                index=index, payload=payload, value=record, cached=True)
+            if progress is not None:
+                progress(outcomes[index])
+        else:
+            pending.append(index)
+
+    exec_payloads = []
+    for i in pending:
+        if trace_dir is None:
+            exec_payloads.append(payloads[i])
+        else:
+            traces[i] = trace_artifact_path(trace_dir, keys[i])
+            exec_payloads.append(dict(payloads[i], trace_path=traces[i]))
+    fresh = run_points(point_fn, exec_payloads, jobs=jobs,
+                       progress=progress, timeout_s=timeout_s,
+                       retries=retries)
+    for slot, outcome in zip(pending, fresh):
+        outcome.index = slot
+        outcome.payload = payloads[slot]   # clean params, no trace_path
+        outcomes[slot] = outcome
+        if not outcome.ok:
+            traces[slot] = None            # the point never wrote one
+        if outcome.ok:
+            cache.put(keys[slot], to_jsonable(outcome.value),
+                      experiment=experiment,
+                      params=to_jsonable(payloads[slot]),
+                      version=version)
+    return outcomes, keys, traces
+
+
 def run_experiment_cached(experiment, cache=None, version=None,
                           **kwargs):
     """Run one registry figure through the cache.

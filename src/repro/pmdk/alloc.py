@@ -60,6 +60,22 @@ class Heap:
         self.live_bytes += need
         return addr
 
+    def reserve_to(self, addr):
+        """Advance the bump pointer past ``addr`` (post-recovery).
+
+        Allocation state is volatile, so a reopened pool starts with an
+        empty heap even though live objects occupy it.  Recovery scans
+        call this with the end of the highest live structure they find;
+        anything allocated afterwards lands above it instead of
+        overwriting reachable data.  Freed holes below are leaked —
+        the same trade real allocators make when their run metadata is
+        rebuilt conservatively.
+        """
+        addr = align_up(addr, CACHELINE)
+        if addr > self.base + self.span:
+            raise MemoryError("reserve_to beyond pool heap")
+        self._bump = max(self._bump, addr)
+
     def free(self, addr, nbytes):
         idx = size_class(nbytes)
         if idx is None:

@@ -35,10 +35,17 @@ def _hash(key):
 class CMap:
     """Concurrent persistent hash map over a :class:`PmemPool`."""
 
-    def __init__(self, pool, buckets=4096, stripes=64, table_off=None):
+    def __init__(self, pool, buckets=4096, stripes=64, table_off=None,
+                 atomic_updates=False):
         self.pool = pool
         self.buckets = buckets
         self.stripes = stripes
+        #: Out-of-place same-size updates (alloc + publish) instead of
+        #: the in-place overwrite.  The in-place path is faster but a
+        #: power failure can tear the value mid-overwrite — half old,
+        #: half new bytes with nothing to detect it.  Chaos serving
+        #: turns this on; ``--naive`` leaves the tear hazard in.
+        self.atomic_updates = atomic_updates
         self._vtable = [0] * buckets       # volatile mirror of buckets
         self._vindex = {}                  # key -> (bucket, obj_off)
         self._lock_free_at = [0.0] * stripes
@@ -102,7 +109,7 @@ class CMap:
     def _update(self, thread, existing, key, value):
         idx, obj_off = existing
         old_vlen = self._obj_vlen(obj_off)
-        if old_vlen == len(value):
+        if old_vlen == len(value) and not self.atomic_updates:
             # In-place value overwrite (read-modify-write).
             vaddr = obj_off + _OBJ_HEADER.size + len(key)
             self.pool.read(thread, vaddr, len(value))
@@ -227,6 +234,76 @@ class CMap:
             inst._vtable[idx] = obj_off
             inst._vindex[bytes(key)] = (idx, obj_off)
         return inst
+
+    @classmethod
+    def open_report(cls, pool, table_off, buckets=4096, stripes=64,
+                    atomic_updates=False):
+        """Tolerant reopen: ``(cmap, RecoveryReport)``, never raises.
+
+        Unlike :meth:`open`, media errors during the table scan are
+        absorbed into the report instead of aborting recovery:
+
+        * an unreadable bucket line loses however many entries pointed
+          through it (counted, unattributable — the pointers are gone);
+        * an unreadable object header or key likewise counts an
+          unattributable loss;
+        * a readable key whose *value* region is poisoned is a loss the
+          report can name: the key lands in ``lost_keys`` and the entry
+          is dropped from the index (a read returns "missing", which
+          the durability oracle excuses because the loss is reported).
+
+        The scan also repairs the reopened pool's volatile heap: the
+        bump pointer is advanced past the table and the highest live
+        object, so post-recovery allocations cannot overwrite reachable
+        data (allocation state does not survive a crash).
+        """
+        from repro.faults.model import MediaError
+        from repro.faults.report import RecoveryReport
+
+        report = RecoveryReport(component="cmap")
+        inst = cls(pool, buckets=buckets, stripes=stripes,
+                   table_off=table_off, atomic_updates=atomic_updates)
+        high_water = table_off + buckets * _BUCKET.size
+        for idx in range(buckets):
+            try:
+                raw = pool.read_persistent(inst._bucket_addr(idx),
+                                           _BUCKET.size)
+            except MediaError:
+                report.lost += 1
+                report.note("bucket %d unreadable (poisoned table "
+                            "line)" % idx)
+                continue
+            obj_off = _BUCKET.unpack(raw)[0]
+            if obj_off == TOMBSTONE:
+                inst._vtable[idx] = TOMBSTONE
+                continue
+            if not obj_off:
+                continue
+            try:
+                hdr = pool.read_persistent(obj_off, _OBJ_HEADER.size)
+                klen, _, vlen = _OBJ_HEADER.unpack(hdr)
+                key = bytes(pool.read_persistent(
+                    obj_off + _OBJ_HEADER.size, klen))
+            except MediaError:
+                report.lost += 1
+                report.note("object at +%#x unreadable (header/key "
+                            "poisoned)" % obj_off)
+                continue
+            high_water = max(high_water,
+                             obj_off + _OBJ_HEADER.size + klen + vlen)
+            try:
+                pool.read_persistent(obj_off + _OBJ_HEADER.size + klen,
+                                     vlen)
+            except MediaError:
+                report.lost += 1
+                report.lost_keys.append(key)
+                report.note("value of %r poisoned" % key)
+                continue
+            inst._vtable[idx] = obj_off
+            inst._vindex[key] = (idx, obj_off)
+            report.recovered += 1
+        pool.heap.reserve_to(pool.base + high_water)
+        return inst, report
 
     @property
     def table_offset(self):

@@ -31,10 +31,12 @@ CAT_MEM = "mem"            # CPU-side load fills
 CAT_FAULT = "fault"        # injected faults (repro.faults)
 CAT_SERVE = "serve"        # per-request serving spans (repro.workloads)
 CAT_COUNTER = "counter"    # periodic counter-timeline samples
+CAT_CHAOS = "chaos"        # mid-serve fault injection and recovery spans
+CAT_DEGRADE = "degrade"    # retries, breaker transitions, shed requests
 
 CATEGORIES = (
     CAT_WPQ, CAT_XPBUFFER, CAT_AIT, CAT_MEDIA, CAT_UPI, CAT_DRAM,
-    CAT_MEM, CAT_FAULT, CAT_SERVE, CAT_COUNTER,
+    CAT_MEM, CAT_FAULT, CAT_SERVE, CAT_COUNTER, CAT_CHAOS, CAT_DEGRADE,
 )
 
 #: Chrome trace_event phases emitted by the tracer.

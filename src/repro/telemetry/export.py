@@ -18,7 +18,7 @@ import csv
 import json
 
 from repro.telemetry.events import (
-    PHASE_COMPLETE, PHASE_COUNTER, PHASE_INSTANT,
+    CATEGORIES, PHASE_COMPLETE, PHASE_COUNTER, PHASE_INSTANT,
 )
 
 _NS_PER_US = 1000.0
@@ -107,6 +107,9 @@ def validate_chrome_trace(data):
             problems.append("%s: missing name" % where)
         if ph == "M":
             continue
+        if ev.get("cat") not in CATEGORIES:
+            problems.append("%s: unknown category %r"
+                            % (where, ev.get("cat")))
         ts = ev.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             problems.append("%s: bad ts %r" % (where, ts))

@@ -78,13 +78,14 @@ class LSMService(Service):
     name = "lsm"
 
     def __init__(self, machine, spec=None, mode="wal-flex", seed=0,
-                 _store=None):
+                 naive=False, _store=None):
         from repro.kvstore.lsm import LSMStore
         self.machine = machine
         self.mode = mode
         self.seed = seed
+        self.naive = naive
         self.store = _store if _store is not None else \
-            LSMStore(machine, mode=mode, seed=seed)
+            LSMStore(machine, mode=mode, seed=seed, naive=naive)
 
     def get(self, thread, key):
         return self.store.get(thread, key)
@@ -103,9 +104,10 @@ class LSMService(Service):
     def recover(self):
         from repro.kvstore.lsm import LSMStore
         store = LSMStore.recover(self.machine, mode=self.mode,
-                                 seed=self.seed)
+                                 seed=self.seed, naive=self.naive)
         service = LSMService(self.machine, mode=self.mode,
-                             seed=self.seed, _store=store)
+                             seed=self.seed, naive=self.naive,
+                             _store=store)
         return service, store.recovery_report
 
     def stats(self):
@@ -131,12 +133,13 @@ class PMemKVService(Service):
     _OVERPROVISION = 4
 
     def __init__(self, machine, spec=None, records=4096, seed=0,
-                 keys_hint=None, _pool=None, _cmap=None):
+                 naive=False, keys_hint=None, _pool=None, _cmap=None):
         from repro.pmdk.pool import PmemPool
         from repro.pmemkv.cmap import CMap
         self.machine = machine
         self.records = records
         self.seed = seed
+        self.naive = naive
         if _pool is None:
             thread = machine.thread()
             keys = keys_hint if keys_hint is not None else records
@@ -144,7 +147,8 @@ class PMemKVService(Service):
             _pool = PmemPool.create(machine, thread, kind="optane",
                                     size=size)
             buckets = max(1024, self._OVERPROVISION * keys)
-            _cmap = CMap(_pool, buckets=buckets)
+            _cmap = CMap(_pool, buckets=buckets,
+                         atomic_updates=not naive)
         self.pool = _pool
         self.cmap = _cmap
         self._sorted_keys = sorted(
@@ -184,12 +188,14 @@ class PMemKVService(Service):
         from repro.pmdk.pool import PmemPool
         from repro.pmemkv.cmap import CMap
         pool = PmemPool.open(self.machine)
-        cmap = CMap.open(pool, self.cmap.table_offset,
-                         buckets=self.cmap.buckets,
-                         stripes=self.cmap.stripes)
+        cmap, report = CMap.open_report(
+            pool, self.cmap.table_offset, buckets=self.cmap.buckets,
+            stripes=self.cmap.stripes,
+            atomic_updates=self.cmap.atomic_updates)
         service = PMemKVService(self.machine, records=self.records,
-                                seed=self.seed, _pool=pool, _cmap=cmap)
-        return service, None
+                                seed=self.seed, naive=self.naive,
+                                _pool=pool, _cmap=cmap)
+        return service, report
 
     def stats(self):
         return {"entries": len(self.cmap),
@@ -274,22 +280,35 @@ class NovaFSService(Service):
         return existed
 
     def recover(self):
+        from repro.faults.model import MediaError
         from repro.fs.nova import NovaFS
         fs = NovaFS.mount(self.machine, datalog=True)
         service = NovaFSService(
             self.machine, records=self.records, seed=self.seed,
             value_size=self.stride - self._SLOT_HEADER.size,
             _fs=fs, _inode=self.inode)
+        report = fs.recovery_report
         if self.inode in fs._files:
             size = fs.stat_size(self.inode)
             for index in range((size + self.stride - 1) // self.stride):
-                raw = fs.read_persistent_file(
-                    self.inode, index * self.stride,
-                    self._SLOT_HEADER.size)
-                if len(raw) == self._SLOT_HEADER.size \
-                        and self._SLOT_HEADER.unpack(raw)[0]:
+                # Read the whole slot, not just the header: a poisoned
+                # data page under the value must surface *now* as an
+                # attributed loss, not later as an unreadable get.
+                length = min(self.stride, size - index * self.stride)
+                try:
+                    raw = fs.read_persistent_file(
+                        self.inode, index * self.stride, length)
+                except MediaError:
+                    report.lost += 1
+                    report.lost_keys.append(make_key(index))
+                    report.note("slot %d unreadable (poisoned data "
+                                "page)" % index)
+                    continue
+                if len(raw) >= self._SLOT_HEADER.size \
+                        and self._SLOT_HEADER.unpack(
+                            raw[:self._SLOT_HEADER.size])[0]:
                     service._live.add(index)
-        return service, fs.recovery_report
+        return service, report
 
     def stats(self):
         f = self.fs._files.get(self.inode)
@@ -315,12 +334,13 @@ class PMDKService(Service):
     _KEY_MAX = 24
 
     def __init__(self, machine, spec=None, records=4096, seed=0,
-                 value_size=1024, keys_hint=None, _pool=None,
-                 _table_off=None, capacity=None):
+                 value_size=1024, naive=False, keys_hint=None,
+                 _pool=None, _table_off=None, capacity=None):
         from repro.pmdk.pool import PmemPool
         self.machine = machine
         self.records = records
         self.seed = seed
+        self.naive = naive
         self.value_max = value_size
         self.stride = align_up(
             self._SLOT_HEADER.size + self._KEY_MAX + value_size, 64)
@@ -382,10 +402,28 @@ class PMDKService(Service):
         if fresh:
             slot = self._claim_slot(key)
         off = self._slot_off(slot)
+        if fresh and not self.naive:
+            # Publish-last for fresh slots: persist the body (key and
+            # value, header bytes untouched and still zero), fence,
+            # then persist the 4-byte header.  The header store is
+            # chunk-atomic, so a power failure at any point leaves the
+            # slot either invisible (header zero) or whole — never a
+            # half-written blob behind a valid header.  This cannot be
+            # done inside a Transaction: commit flushes whole cache
+            # lines, and the header shares its line with the body's
+            # first bytes, so their persist order could not be forced.
+            self.pool.write(thread, off + self._SLOT_HEADER.size,
+                            blob[self._SLOT_HEADER.size:])
+            self.pool.write(thread, off,
+                            blob[:self._SLOT_HEADER.size])
+            return
         with Transaction(self.pool, thread) as tx:
             # A fresh slot holds no live data: skip the snapshot (the
             # publish is the header becoming non-zero), exactly
-            # pmemobj_tx_xadd_range(POBJ_XADD_NO_SNAPSHOT).
+            # pmemobj_tx_xadd_range(POBJ_XADD_NO_SNAPSHOT).  Naive
+            # mode keeps this path for fresh slots too — a torn blob
+            # behind a valid header is exactly the hazard the chaos
+            # matrix must catch.
             tx.store(off, blob, snapshot=not fresh)
 
     def scan(self, thread, key, count):
@@ -412,6 +450,7 @@ class PMDKService(Service):
         return True
 
     def recover(self):
+        from repro.faults.model import MediaError
         from repro.pmdk.pool import PmemPool
         from repro.pmdk.tx import recover_report
         pool = PmemPool.open(self.machine)
@@ -419,18 +458,45 @@ class PMDKService(Service):
         _, report = recover_report(pool, thread)
         service = PMDKService(
             self.machine, records=self.records, seed=self.seed,
-            value_size=self.value_max, _pool=pool,
+            value_size=self.value_max, naive=self.naive, _pool=pool,
             _table_off=pool.root(), capacity=self.capacity)
+        # Allocation state is volatile: put the bump pointer past the
+        # slot table so post-recovery allocations cannot land inside it.
+        pool.heap.reserve_to(
+            pool.base + service.table_off
+            + self.capacity * self.stride)
         for slot in range(self.capacity):
             off = service._slot_off(slot)
-            raw = pool.read_persistent(off, self._SLOT_HEADER.size)
-            klen, _ = service._SLOT_HEADER.unpack(raw)
-            if not klen:
+            try:
+                raw = pool.read_persistent(off, self._SLOT_HEADER.size)
+                klen, vlen = service._SLOT_HEADER.unpack(raw)
+                if not klen:
+                    continue
+                if klen > self._KEY_MAX or vlen > self.value_max:
+                    report.lost += 1
+                    report.note("slot %d header corrupt "
+                                "(klen=%d vlen=%d)" % (slot, klen, vlen))
+                    continue
+                key = bytes(pool.read_persistent(
+                    off + service._SLOT_HEADER.size, klen))
+            except MediaError:
+                report.lost += 1
+                report.note("slot %d unreadable (poisoned line under "
+                            "header/key)" % slot)
                 continue
-            key = bytes(pool.read_persistent(
-                off + service._SLOT_HEADER.size, klen))
-            service._slots[key] = slot
             service._next_slot = max(service._next_slot, slot + 1)
+            try:
+                pool.read_persistent(
+                    off + service._SLOT_HEADER.size + klen, vlen)
+            except MediaError:
+                # The key survived but its value region did not: a
+                # loss the report can attribute.
+                report.lost += 1
+                report.lost_keys.append(key)
+                report.note("slot %d value poisoned" % slot)
+                continue
+            service._slots[key] = slot
+            report.recovered += 1
         return service, report
 
     def stats(self):
@@ -439,13 +505,20 @@ class PMDKService(Service):
                 "capacity": self.capacity}
 
 
-def make_service(substrate, machine, spec, records, ops=0, seed=0):
+def make_service(substrate, machine, spec, records, ops=0, seed=0,
+                 naive=False):
     """Build the adapter for one substrate, sized for the workload.
 
     ``ops`` is the request count about to be served; fixed-capacity
     substrates (cmap's bucket table, pmdk's slot table) are sized for
     the worst case of every op being an insert, so insert-only mixes
     like log-append cannot overflow them.
+
+    ``naive`` strips the crash-consistency hardening the chaos matrix
+    exists to validate: cmap updates go back in place, pmdk fresh slots
+    go back to one unordered blob, and the LSM replays its WAL without
+    checksum verification.  NOVA has no naive variant — its log entries
+    are CRC-framed by construction.
     """
     try:
         cls = SUBSTRATES[substrate]
@@ -454,13 +527,14 @@ def make_service(substrate, machine, spec, records, ops=0, seed=0):
                        % (substrate, ", ".join(sorted(SUBSTRATES))))
     keys_hint = records + ops
     if cls is LSMService:
-        return cls(machine, spec, seed=seed)
+        return cls(machine, spec, seed=seed, naive=naive)
     if cls is PMemKVService:
         return cls(machine, spec, records=records, seed=seed,
-                   keys_hint=keys_hint)
+                   naive=naive, keys_hint=keys_hint)
     if cls is PMDKService:
         return cls(machine, spec, records=records, seed=seed,
-                   value_size=spec.value_size, keys_hint=keys_hint)
+                   value_size=spec.value_size, naive=naive,
+                   keys_hint=keys_hint)
     return cls(machine, spec, records=records, seed=seed,
                value_size=spec.value_size)
 

@@ -1,0 +1,120 @@
+"""The degradation layer: breaker, retries, naive config."""
+
+import random
+
+from repro.chaos_serve.degrade import (
+    BREAKER_CLOSED, BREAKER_HALF_OPEN, BREAKER_OPEN, CircuitBreaker,
+    DegradeConfig, RetryPolicy,
+)
+
+
+def make_breaker(threshold=3, cooldown_ns=1000.0):
+    return CircuitBreaker(threshold=threshold, cooldown_ns=cooldown_ns)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = make_breaker(threshold=3)
+        for _ in range(2):
+            breaker.record(False, 10.0)
+        assert breaker.state == BREAKER_CLOSED
+        breaker.record(False, 20.0)
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow(21.0)
+
+    def test_successes_reset_the_count(self):
+        breaker = make_breaker(threshold=3)
+        for _ in range(10):
+            breaker.record(False, 10.0)
+            breaker.record(False, 11.0)
+            breaker.record(True, 12.0)
+        assert breaker.state == BREAKER_CLOSED
+
+    def test_half_open_probe_closes_on_success(self):
+        breaker = make_breaker(threshold=1, cooldown_ns=1000.0)
+        breaker.record(False, 0.0)
+        assert not breaker.allow(500.0)         # still cooling down
+        assert breaker.allow(1000.0)            # the probe goes through
+        assert breaker.state == BREAKER_HALF_OPEN
+        breaker.record(True, 1010.0)
+        assert breaker.state == BREAKER_CLOSED
+        assert breaker.allow(1011.0)
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = make_breaker(threshold=1, cooldown_ns=1000.0)
+        breaker.record(False, 0.0)
+        assert breaker.allow(1000.0)
+        breaker.record(False, 1010.0)
+        assert breaker.state == BREAKER_OPEN
+        assert not breaker.allow(1500.0)        # cooldown restarted
+        assert breaker.allow(2010.0)
+
+    def test_transitions_are_recorded_on_the_virtual_clock(self):
+        breaker = make_breaker(threshold=1, cooldown_ns=1000.0)
+        breaker.record(False, 5.0)
+        breaker.allow(1005.0)
+        breaker.record(True, 1010.0)
+        assert [state for _, state in breaker.transitions] == \
+            [BREAKER_OPEN, BREAKER_HALF_OPEN, BREAKER_CLOSED]
+
+    def test_threshold_zero_disables_the_breaker(self):
+        breaker = make_breaker(threshold=0)
+        for _ in range(100):
+            breaker.record(False, 1.0)
+        assert breaker.allow(2.0)
+        assert breaker.transitions == []
+
+
+class TestRetryPolicy:
+    def test_same_seed_same_backoffs(self):
+        a = RetryPolicy(DegradeConfig(), seed=42)
+        b = RetryPolicy(DegradeConfig(), seed=42)
+        seq_a = [a.backoff_ns(0, n) for n in range(1, 6)]
+        seq_b = [b.backoff_ns(0, n) for n in range(1, 6)]
+        assert seq_a == seq_b
+
+    def test_clients_draw_independent_streams(self):
+        policy = RetryPolicy(DegradeConfig(), seed=42)
+        seq_0 = [policy.backoff_ns(0, n) for n in range(1, 6)]
+        seq_1 = [policy.backoff_ns(1, n) for n in range(1, 6)]
+        assert seq_0 != seq_1
+        # ... and one client's draws don't shift another's.
+        fresh = RetryPolicy(DegradeConfig(), seed=42)
+        interleaved = []
+        for n in range(1, 6):
+            fresh.backoff_ns(1, n)
+            interleaved.append(fresh.backoff_ns(0, n))
+        assert interleaved == seq_0
+
+    def test_never_touches_global_random(self):
+        random.seed(1234)
+        expected = random.random()
+        random.seed(1234)
+        policy = RetryPolicy(DegradeConfig(), seed=7)
+        for n in range(1, 5):
+            policy.backoff_ns(0, n)
+        assert random.random() == expected
+
+    def test_backoff_grows_within_jitter_bounds(self):
+        cfg = DegradeConfig()
+        policy = RetryPolicy(cfg, seed=0)
+        for attempt in range(1, 5):
+            base = cfg.backoff_base_ns * cfg.backoff_mult ** (attempt - 1)
+            got = policy.backoff_ns(0, attempt)
+            assert base * (1 - cfg.backoff_jitter) <= got <= \
+                base * (1 + cfg.backoff_jitter)
+
+    def test_attempts_floor_is_one(self):
+        assert RetryPolicy(DegradeConfig.naive(), seed=0).attempts() == 1
+        assert RetryPolicy(DegradeConfig(), seed=0).attempts() == \
+            DegradeConfig().retry_attempts
+
+
+class TestNaiveConfig:
+    def test_everything_is_off(self):
+        cfg = DegradeConfig.naive()
+        assert not cfg.enabled
+        assert cfg.deadline_ns == float("inf")
+        assert cfg.retry_attempts == 1
+        assert cfg.breaker_threshold == 0
+        assert cfg.max_inflight == 0

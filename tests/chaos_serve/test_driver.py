@@ -1,0 +1,102 @@
+"""Chaos cells end to end: faults fire, recovery audits, determinism."""
+
+import json
+
+from repro.chaos_serve import chaos_serve_cell
+
+QUICK = {"workload": "ycsb-a", "substrate": "lsm",
+         "scenario": "power-fail", "mode": "closed", "naive": False,
+         "seed": 0, "records": 160, "ops": 400, "clients": 2}
+
+
+def cell(**overrides):
+    return chaos_serve_cell(dict(QUICK, **overrides))
+
+
+class TestPowerFailCell:
+    def test_protected_run_has_zero_violations(self):
+        record = cell()
+        assert record["violations"] == []
+        assert record["faults"]["crashes"] == 2
+        assert record["faults"]["torn_chunks"] > 0
+        # Two mid-serve recoveries plus the final audit crash.
+        assert len(record["recoveries"]) == 3
+        assert record["recoveries"][-1]["final"] is True
+        assert record["served"]["ops"] == QUICK["ops"]
+
+    def test_every_recovery_carries_a_report_and_audit(self):
+        record = cell()
+        for recovery in record["recoveries"]:
+            report = recovery["report"]
+            assert report["component"] == "platform"
+            assert report["recovered"] > 0
+            check = recovery["check"]
+            assert check["keys_checked"] > 0
+            assert check["legal"] + check["reported_lost"] == \
+                check["keys_checked"]
+
+    def test_naive_open_loop_detects_a_violation(self):
+        record = cell(mode="open", rate_kops=400.0, naive=True)
+        assert record["naive"] is True
+        assert len(record["violations"]) >= 1
+        kinds = {v["kind"] for v in record["violations"]}
+        assert kinds <= {"lost-acknowledged-write",
+                         "stale-acknowledged-write", "garbage-value",
+                         "unreadable-without-report"}
+        # Every violation prints its offending history window.
+        for violation in record["violations"]:
+            assert violation["window"]
+            assert violation["legal"]
+
+
+class TestOtherScenarios:
+    def test_poison_is_reported_not_violated(self):
+        record = cell(scenario="poison", substrate="pmemkv")
+        assert record["violations"] == []
+        assert record["faults"]["poison_reads"] > 0
+        assert record["recoveries"][-1]["report"]["lost"] > 0
+
+    def test_transient_errors_are_absorbed_by_retries(self):
+        record = cell(scenario="transient", substrate="pmemkv")
+        assert record["violations"] == []
+        assert record["faults"]["transient_reads"] > 0
+        assert record["degrade"]["retries"] > 0
+        assert record["degrade"]["retry_successes"] > 0
+
+    def test_naive_transient_fails_requests_instead(self):
+        record = cell(scenario="transient", substrate="pmemkv",
+                      naive=True)
+        assert record["degrade"]["retries"] == 0
+        assert record["results"].get("failed", 0) > 0
+
+    def test_thermal_stays_clean(self):
+        record = cell(scenario="thermal")
+        assert record["violations"] == []
+        assert record["served"]["ops"] == QUICK["ops"]
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        a = json.dumps(cell(), sort_keys=True)
+        b = json.dumps(cell(), sort_keys=True)
+        assert a == b
+
+    def test_same_seed_open_loop_is_byte_identical(self):
+        a = json.dumps(cell(mode="open", rate_kops=400.0),
+                       sort_keys=True)
+        b = json.dumps(cell(mode="open", rate_kops=400.0),
+                       sort_keys=True)
+        assert a == b
+
+    def test_different_seeds_diverge(self):
+        a = json.dumps(cell(), sort_keys=True)
+        b = json.dumps(cell(seed=1), sort_keys=True)
+        assert a != b
+
+
+class TestOpenLoop:
+    def test_served_plus_shed_accounts_for_every_arrival(self):
+        record = cell(mode="open", rate_kops=400.0)
+        assert record["mode"] == "open"
+        assert sum(record["results"].values()) == QUICK["ops"]
+        assert record["violations"] == []

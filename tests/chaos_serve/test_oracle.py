@@ -1,0 +1,239 @@
+"""The durable-linearizability checker, on hand-built histories.
+
+Every test constructs a tiny history with a known verdict and feeds
+the oracle a canned read-back, so each rule — superseded writes,
+in-flight old-or-new, reported-loss coverage, truncation semantics,
+excused mutations — is pinned independently of the serving loop.
+"""
+
+
+from repro.chaos_serve.history import DELETE, PUT, History
+from repro.chaos_serve.oracle import (
+    GARBAGE, LOST_ACKED, STALE_ACKED, UNREADABLE, check_durability,
+)
+from repro.faults.report import RecoveryReport
+from repro.workloads.generators import get_workload, make_key, make_value
+
+SPEC = get_workload("ycsb-a")
+
+
+def value(key_index, version):
+    return make_value(SPEC, key_index, version)
+
+
+def put(history, client, key_index, version, start, end=None):
+    mut = history.begin(client, PUT, key_index, version, start)
+    if end is not None:
+        history.ack(mut, end)
+    return mut
+
+
+def reads(observations):
+    """A read_fn serving canned ``{key_index: (state, payload)}``."""
+    def read(key_index):
+        return observations[key_index]
+    return read
+
+
+def check(history, observations, report=None):
+    return check_durability(history, reads(observations), SPEC, report)
+
+
+class TestCleanPass:
+    def test_preloaded_keys_read_back_clean(self):
+        history = History()
+        history.preload(3)
+        result = check(history, {
+            i: ("value", value(i, 0)) for i in range(3)})
+        assert result["violations"] == []
+        assert result["legal"] == 3
+        assert result["keys_checked"] == 3
+
+    def test_acked_update_reads_back_clean(self):
+        history = History()
+        history.preload(1)
+        put(history, 0, 0, 7, start=100.0, end=200.0)
+        result = check(history, {0: ("value", value(0, 7))})
+        assert result["violations"] == []
+
+
+class TestLostAckedWrite:
+    def _history(self):
+        history = History()
+        history.preload(1)
+        put(history, 0, 0, 1, start=100.0, end=200.0)
+        return history
+
+    def test_missing_without_report_violates(self):
+        result = check(self._history(), {0: ("missing", None)})
+        assert [v["kind"] for v in result["violations"]] == [LOST_ACKED]
+        assert result["violations"][0]["key"] == \
+            make_key(0).decode()
+        assert result["violations"][0]["window"]
+
+    def test_attributed_loss_covers(self):
+        report = RecoveryReport(lost=1, lost_keys=[make_key(0)])
+        result = check(self._history(), {0: ("missing", None)}, report)
+        assert result["violations"] == []
+        assert result["reported_lost"] == 1
+
+    def test_unattributed_loss_covers(self):
+        report = RecoveryReport(lost=1)
+        result = check(self._history(), {0: ("missing", None)}, report)
+        assert result["violations"] == []
+        assert result["reported_lost"] == 1
+
+    def test_reported_truncation_covers_clean_rollback(self):
+        report = RecoveryReport(truncated=1)
+        result = check(self._history(), {0: ("missing", None)}, report)
+        assert result["violations"] == []
+        assert result["reported_lost"] == 1
+
+
+class TestStaleAckedWrite:
+    def _history(self):
+        history = History()
+        history.preload(1)
+        put(history, 0, 0, 5, start=100.0, end=200.0)
+        return history
+
+    def test_stale_without_report_violates(self):
+        result = check(self._history(), {0: ("value", value(0, 0))})
+        assert [v["kind"] for v in result["violations"]] == [STALE_ACKED]
+
+    def test_reported_truncation_covers_rollback(self):
+        report = RecoveryReport(truncated=1)
+        result = check(self._history(), {0: ("value", value(0, 0))},
+                       report)
+        assert result["violations"] == []
+        assert result["reported_lost"] == 1
+
+
+class TestGarbage:
+    def _history(self):
+        history = History()
+        history.preload(1)
+        return history
+
+    def test_unknown_bytes_violate(self):
+        result = check(self._history(), {0: ("value", b"\xff" * 100)})
+        assert [v["kind"] for v in result["violations"]] == [GARBAGE]
+
+    def test_truncation_never_excuses_garbage(self):
+        report = RecoveryReport(truncated=5)
+        result = check(self._history(), {0: ("value", b"\xff" * 100)},
+                       report)
+        assert [v["kind"] for v in result["violations"]] == [GARBAGE]
+
+    def test_loss_admission_covers_garbage(self):
+        report = RecoveryReport(lost=1)
+        result = check(self._history(), {0: ("value", b"\xff" * 100)},
+                       report)
+        assert result["violations"] == []
+
+
+class TestInFlight:
+    def _history(self):
+        history = History()
+        history.preload(1)
+        put(history, 0, 0, 3, start=100.0, end=None)   # never acked
+        return history
+
+    def test_old_value_is_legal(self):
+        result = check(self._history(), {0: ("value", value(0, 0))})
+        assert result["violations"] == []
+        assert result["inflight_keys"] == 1
+
+    def test_new_value_is_legal(self):
+        result = check(self._history(), {0: ("value", value(0, 3))})
+        assert result["violations"] == []
+
+    def test_missing_still_violates_the_preload(self):
+        result = check(self._history(), {0: ("missing", None)})
+        assert [v["kind"] for v in result["violations"]] == [LOST_ACKED]
+
+    def test_inflight_insert_may_be_missing(self):
+        history = History()
+        put(history, 0, 5, 1, start=100.0, end=None)
+        result = check(history, {5: ("missing", None)})
+        assert result["violations"] == []
+
+
+class TestSuperseded:
+    def test_definitely_superseded_value_is_stale(self):
+        history = History()
+        history.preload(1)
+        put(history, 0, 0, 1, start=100.0, end=200.0)
+        put(history, 0, 0, 2, start=300.0, end=400.0)  # after v1's ack
+        result = check(history, {0: ("value", value(0, 1))})
+        assert [v["kind"] for v in result["violations"]] == [STALE_ACKED]
+        result = check(history, {0: ("value", value(0, 2))})
+        assert result["violations"] == []
+
+    def test_overlapping_acked_writes_both_legal(self):
+        history = History()
+        history.preload(1)
+        put(history, 0, 0, 1, start=100.0, end=200.0)
+        put(history, 1, 0, 2, start=150.0, end=250.0)  # overlaps v1
+        for version in (1, 2):
+            result = check(history, {0: ("value", value(0, version))})
+            assert result["violations"] == [], version
+
+
+class TestDelete:
+    def test_acked_delete_makes_missing_legal(self):
+        history = History()
+        history.preload(1)
+        mut = history.begin(0, DELETE, 0, 0, 100.0)
+        history.ack(mut, 200.0)
+        result = check(history, {0: ("missing", None)})
+        assert result["violations"] == []
+
+
+class TestUnreadable:
+    def _history(self):
+        history = History()
+        history.preload(1)
+        return history
+
+    def test_unreadable_without_report_violates(self):
+        result = check(self._history(), {0: ("unreadable", "poisoned")})
+        assert [v["kind"] for v in result["violations"]] == [UNREADABLE]
+
+    def test_reported_loss_covers_unreadable(self):
+        report = RecoveryReport(lost=1)
+        result = check(self._history(), {0: ("unreadable", "poisoned")},
+                       report)
+        assert result["violations"] == []
+        assert result["reported_lost"] == 1
+
+
+class TestExcusedMutations:
+    """A loss reported once must not re-flag at every later audit."""
+
+    def test_covered_rollback_stays_legal_at_next_audit(self):
+        history = History()
+        history.preload(1)
+        mut = put(history, 0, 0, 5, start=100.0, end=200.0)
+        # Audit 1: the tear rolled v5 back; the report admits it.
+        first = check(history, {0: ("value", value(0, 0))},
+                      RecoveryReport(truncated=1))
+        assert first["violations"] == []
+        assert mut.excused is True
+        # Audit 2: clean recovery (truncated=0) — the same stale state
+        # must not turn into a violation now.
+        second = check(history, {0: ("value", value(0, 0))},
+                       RecoveryReport())
+        assert second["violations"] == []
+
+    def test_later_writes_are_fresh_promises(self):
+        history = History()
+        history.preload(1)
+        put(history, 0, 0, 5, start=100.0, end=200.0)
+        check(history, {0: ("value", value(0, 0))},
+              RecoveryReport(truncated=1))       # v5 excused
+        put(history, 0, 0, 9, start=300.0, end=400.0)
+        result = check(history, {0: ("missing", None)})
+        assert [v["kind"] for v in result["violations"]] == [LOST_ACKED]
+
+

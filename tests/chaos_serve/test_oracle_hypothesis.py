@@ -1,0 +1,112 @@
+"""Property-based histories for the durability oracle.
+
+Skipped wholesale when hypothesis is not installed — the hand-built
+histories in ``test_oracle.py`` still pin every rule.
+"""
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.chaos_serve.history import PUT, History
+from repro.chaos_serve.oracle import (
+    GARBAGE, STALE_ACKED, check_durability,
+)
+from repro.faults.report import RecoveryReport
+from repro.workloads.generators import get_workload, make_value
+
+SPEC = get_workload("ycsb-a")
+
+
+def value(key_index, version):
+    return make_value(SPEC, key_index, version)
+
+
+def put(history, client, key_index, version, start, end=None):
+    mut = history.begin(client, PUT, key_index, version, start)
+    if end is not None:
+        history.ack(mut, end)
+    return mut
+
+
+def check(history, observations, report=None):
+    def read(key_index):
+        return observations[key_index]
+    return check_durability(history, read, SPEC, report)
+
+
+def sequential_history(versions, inflight_tail=False):
+    history = History()
+    history.preload(1)
+    for i in range(1, versions + 1):
+        put(history, 0, 0, i, start=i * 100.0, end=i * 100.0 + 50.0)
+    if inflight_tail:
+        put(history, 0, 0, versions + 1,
+            start=(versions + 1) * 100.0, end=None)
+    return history
+
+
+@given(st.integers(1, 6), st.booleans(), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_honest_reads_of_sequential_histories_are_legal(
+        versions, inflight_tail, read_new):
+    history = sequential_history(versions, inflight_tail)
+    observed = versions + 1 if (inflight_tail and read_new) else versions
+    result = check(history, {0: ("value", value(0, observed))})
+    assert result["violations"] == []
+
+
+@given(st.integers(1, 6), st.integers(0, 6), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_stale_reads_violate_iff_unreported(versions, stale, covered):
+    assume(stale < versions)
+    history = sequential_history(versions)
+    report = RecoveryReport(truncated=1) if covered else None
+    result = check(history, {0: ("value", value(0, stale))}, report)
+    if covered:
+        assert result["violations"] == []
+        assert result["reported_lost"] == 1
+    else:
+        assert [v["kind"] for v in result["violations"]] == [STALE_ACKED]
+
+
+@given(st.integers(1, 4), st.binary(min_size=4, max_size=32),
+       st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_garbage_violates_unless_loss_reported(versions, junk, covered):
+    known = {value(0, i) for i in range(versions + 1)}
+    assume(junk not in known)
+    history = sequential_history(versions)
+    report = RecoveryReport(lost=1) if covered else None
+    result = check(history, {0: ("value", junk)}, report)
+    if covered:
+        assert result["violations"] == []
+    else:
+        assert [v["kind"] for v in result["violations"]] == [GARBAGE]
+
+
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 3)),
+                min_size=1, max_size=12),
+       st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_multi_key_final_values_always_legal(ops, crash_last):
+    """Reading back each key's latest acked version is always legal,
+    whatever the interleaving across clients and keys."""
+    history = History()
+    history.preload(3)
+    latest = {0: 0, 1: 0, 2: 0}
+    version = {0: 0, 1: 0, 2: 0}
+    now = 100.0
+    for i, (key, client) in enumerate(ops):
+        version[key] += 1
+        last = crash_last and i == len(ops) - 1
+        put(history, client, key, version[key], start=now,
+            end=None if last else now + 50.0)
+        if not last:
+            latest[key] = version[key]
+        now += 100.0
+    observations = {k: ("value", value(k, latest[k])) for k in latest}
+    result = check(history, observations)
+    assert result["violations"] == []

@@ -67,12 +67,20 @@ class TestChromeTrace:
         assert validate_chrome_trace({}) == ["traceEvents must be a list"]
         bad = {"traceEvents": [
             {"ph": "Z", "name": "x"},
-            {"ph": "X", "name": "", "ts": 0, "dur": 0},
-            {"ph": "X", "name": "y", "ts": -1, "dur": -2},
-            {"ph": "C", "name": "c", "ts": 0},
+            {"ph": "X", "name": "", "cat": "media", "ts": 0, "dur": 0},
+            {"ph": "X", "name": "y", "cat": "media", "ts": -1,
+             "dur": -2},
+            {"ph": "C", "name": "c", "cat": "media", "ts": 0},
         ]}
         problems = validate_chrome_trace(bad)
         assert len(problems) == 5
+
+    def test_validator_rejects_unknown_categories(self):
+        bad = {"traceEvents": [
+            {"ph": "X", "name": "x", "cat": "bogus", "ts": 0, "dur": 1},
+        ]}
+        problems = validate_chrome_trace(bad)
+        assert problems == ["traceEvents[0]: unknown category 'bogus'"]
 
     def test_non_finite_args_rejected_at_write(self, tmp_path):
         tr = Tracer(counter_interval_ns=None)
