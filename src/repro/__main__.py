@@ -16,6 +16,10 @@ Commands:
 * ``serve ycsb-a lsm``    — YCSB-style serving study of one substrate:
   closed-loop throughput, the open-loop latency-vs-load curve, and a
   binary search for the max offered load meeting a p99 SLO
+  (``--pmcheck`` rides the persistency-order checker along)
+* ``pmcheck ycsb-a lsm``  — persistency-order check: run the traffic
+  with the durability checker installed and report missing, misordered
+  or redundant flushes with call-site attribution
 * ``bench [--quick]``     — wall-clock microbenchmarks of the
   simulator's hot paths; ``--compare old.json`` exits 1 on a >20%
   throughput regression
@@ -314,12 +318,15 @@ def _cmd_serve_chaos(args):
         run = run_chaos_serve(
             workload=workload, substrate=substrate, quick=args.quick,
             seed=args.seed, naive=args.naive, jobs=args.jobs,
-            cache=cache, trace_dir=args.trace_dir)
+            cache=cache, trace_dir=args.trace_dir,
+            pmcheck=args.pmcheck)
     except (KeyError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
 
     report = {"cells": run.records, "violations": run.violations}
+    if args.pmcheck:
+        report["pmcheck_violations"] = run.pmcheck_violations
     with open(args.out, "w") as fh:
         json.dump(report, fh, sort_keys=True, indent=1, allow_nan=False)
         fh.write("\n")
@@ -345,6 +352,7 @@ def _cmd_serve_chaos(args):
                                            point["error"]),
                   file=sys.stderr)
         return 1
+    status = 0
     if run.violations:
         print("\nDURABILITY VIOLATIONS (%d):" % len(run.violations))
         for v in run.violations:
@@ -353,10 +361,21 @@ def _cmd_serve_chaos(args):
                                      cell["substrate"],
                                      cell["scenario"], cell["mode"]))
             print(format_violation(v))
-        return 1
-    print("no durability violations: every acknowledged write "
-          "survived or was reported lost")
-    return 0
+        status = 1
+    else:
+        print("no durability violations: every acknowledged write "
+              "survived or was reported lost")
+    if args.pmcheck:
+        from repro.pmcheck import format_violation as fmt_pm
+        if run.pmcheck_violations:
+            print("\nPERSISTENCY-ORDER VIOLATIONS (%d):"
+                  % len(run.pmcheck_violations))
+            for v in run.pmcheck_violations:
+                print(fmt_pm(v, cell=v.get("cell")))
+            status = 1
+        else:
+            print("pmcheck: every cell's persist ordering is clean")
+    return status
 
 
 def cmd_serve(args):
@@ -385,7 +404,7 @@ def cmd_serve(args):
     report, manifest = serve(
         args.workload, args.substrate, quick=args.quick,
         slo_p99_us=args.slo_p99_us, seed=args.seed, jobs=args.jobs,
-        cache=cache, trace_dir=args.trace_dir)
+        cache=cache, trace_dir=args.trace_dir, pmcheck=args.pmcheck)
     with open(args.out, "w") as fh:
         json.dump(report, fh, sort_keys=True, indent=1,
                   allow_nan=False)
@@ -420,13 +439,81 @@ def cmd_serve(args):
                                                1e-9)))
     print("report -> %s (+ %s)" % (args.out,
                                    args.out + ".manifest.json"))
+    if args.pmcheck:
+        from repro.pmcheck import format_violation as fmt_pm
+        pm = report.get("pmcheck", {})
+        if pm.get("violations"):
+            print("\nPERSISTENCY-ORDER VIOLATIONS (%d):"
+                  % len(pm["violations"]))
+            for v in pm["violations"]:
+                print(fmt_pm(v, cell=v.get("cell")))
+            return 1
+        print("pmcheck: persist ordering clean across every point")
+    return 0
+
+
+def cmd_pmcheck(args):
+    """The ``pmcheck`` verb: the checker matrix over YCSB traffic."""
+    import json
+
+    from repro.harness import ResultCache
+    from repro.pmcheck import format_violation, run_pmcheck
+
+    workload = None if args.workload == "all" else args.workload
+    substrate = None if args.substrate == "all" else args.substrate
+    cache = ResultCache(root=args.cache_dir, enabled=not args.no_cache)
+    try:
+        run = run_pmcheck(
+            workload=workload, substrate=substrate, quick=args.quick,
+            seed=args.seed, naive=args.naive, jobs=args.jobs,
+            cache=cache, trace_dir=args.trace_dir)
+    except (KeyError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    report = {"cells": run.records, "violations": run.violations}
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, sort_keys=True, indent=1, allow_nan=False)
+        fh.write("\n")
+    run.manifest.save(args.out + ".manifest.json")
+
+    print("persistency-order check%s%s: %d cells, seed %d"
+          % (" (quick)" if args.quick else "",
+             " [NAIVE: protections off]" if args.naive else "",
+             len(run.manifest.points), args.seed))
+    for rec in run.records:
+        summary = rec["pmcheck"]
+        kinds = summary.get("kinds", {})
+        print("  %-7s %-8s ops=%-5d %s"
+              % (rec["workload"], rec["substrate"],
+                 rec["served"]["ops"],
+                 "clean" if not summary["total"] else
+                 "%d violation(s): %s"
+                 % (summary["total"],
+                    ", ".join("%s x%d" % (k, kinds[k])
+                              for k in sorted(kinds)))))
+    print("report -> %s (+ %s)" % (args.out,
+                                   args.out + ".manifest.json"))
+    if run.failures:
+        for point in run.failures:
+            print("CELL FAILED: %s: %s" % (point["params"],
+                                           point["error"]),
+                  file=sys.stderr)
+        return 1
+    if run.violations:
+        print("\nPERSISTENCY-ORDER VIOLATIONS (%d):"
+              % len(run.violations))
+        for v in run.violations:
+            print(format_violation(v, cell=v.get("cell")))
+        return 1
+    print("every store was flushed, fenced and acknowledged in order")
     return 0
 
 
 #: Every CLI verb, in help order (unknown-verb errors print this).
 COMMANDS = (
-    "list", "run", "trace", "sweep", "serve", "cache", "compare",
-    "faults", "bench", "calibrate", "guidelines", "audit",
+    "list", "run", "trace", "sweep", "serve", "pmcheck", "cache",
+    "compare", "faults", "bench", "calibrate", "guidelines", "audit",
 )
 
 
@@ -516,6 +603,9 @@ def build_parser():
                        help="with --chaos: disable the degradation "
                             "layer and crash-consistency hardening "
                             "(the matrix should catch violations)")
+    serve.add_argument("--pmcheck", action="store_true",
+                       help="ride the persistency-order checker along "
+                            "and fail on any flush/fence misordering")
     serve.add_argument("--quick", action="store_true",
                        help="small shapes for smoke runs")
     serve.add_argument("--slo-p99-us", type=float, default=None,
@@ -534,6 +624,32 @@ def build_parser():
     serve.add_argument("--trace-dir", default=None,
                        help="write a Chrome trace per freshly computed "
                             "point into this directory")
+    pmcheck = sub.add_parser(
+        "pmcheck", help="check persistency ordering under traffic")
+    pmcheck.add_argument("workload", nargs="?", default="all",
+                         help="traffic mix (ycsb-a..f) or 'all' "
+                              "(default: all)")
+    pmcheck.add_argument("substrate", nargs="?", default="all",
+                         help="service under test (lsm, pmemkv, nova, "
+                              "pmdk) or 'all' (default: all)")
+    pmcheck.add_argument("--quick", action="store_true",
+                         help="small shapes for smoke runs")
+    pmcheck.add_argument("--naive", action="store_true",
+                         help="drop the ordering protections (the "
+                              "checker should catch every class)")
+    pmcheck.add_argument("--seed", type=int, default=0,
+                         help="traffic seed (default: 0)")
+    pmcheck.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: one per CPU)")
+    pmcheck.add_argument("--out", default="pmcheck.json",
+                         help="report path (default: pmcheck.json)")
+    pmcheck.add_argument("--no-cache", action="store_true",
+                         help="recompute every cell")
+    pmcheck.add_argument("--cache-dir", default=None,
+                         help="cache root (default: .repro-cache)")
+    pmcheck.add_argument("--trace-dir", default=None,
+                         help="write a Chrome trace per freshly "
+                              "computed cell into this directory")
     cache = sub.add_parser("cache", help="result-cache maintenance")
     cache.add_argument("action", choices=("stats", "clear"))
     cache.add_argument("--cache-dir", default=None,
@@ -608,6 +724,7 @@ def main(argv=None):
         "trace": cmd_trace,
         "sweep": cmd_sweep,
         "serve": cmd_serve,
+        "pmcheck": cmd_pmcheck,
         "cache": cmd_cache,
         "compare": cmd_compare,
         "faults": cmd_faults,

@@ -20,7 +20,11 @@ stress different code:
 * ``serve_open``     — open-loop YCSB-C against PMemKV (Poisson
   arrivals, earliest-free-worker dispatch, the cmap read path);
 * ``serve_chaos``    — one chaos-serving cell (mid-serve power
-  failures, recovery, and the durability oracle's read-back).
+  failures, recovery, and the durability oracle's read-back);
+* ``pmcheck_overhead`` — the ``serve_closed`` workload with the
+  persistency-order checker installed (the composed per-line paths
+  plus the checker's state machine; compare against ``serve_closed``
+  for the checking tax).
 
 Results land in ``BENCH_sim.json`` as ``{name: {wall_s, sim_ops,
 ops_per_s}}`` where ``sim_ops`` counts simulated cache-line operations
@@ -132,6 +136,29 @@ def bench_serve_chaos(quick=False):
     return record["served"]["ops"]
 
 
+def bench_pmcheck_overhead(quick=False):
+    """``serve_closed`` with the persistency-order checker riding along.
+
+    The delta against ``serve_closed`` is the whole checking tax: the
+    fused fast path disabled (composed per-line stores/flushes) plus
+    the checker's per-line state machine and ack-window bookkeeping.
+    """
+    from repro.pmcheck import PmCheck
+    from repro.sim.platform import Machine
+    from repro.workloads import closed_loop, get_workload, make_service
+    records = 192 if quick else 512
+    ops = 480 if quick else 4096
+    spec = get_workload("ycsb-a")
+    machine = Machine()
+    checker = PmCheck(machine).install()
+    service = make_service("lsm", machine, spec, records=records,
+                           ops=ops, seed=0)
+    report = closed_loop(machine, service, spec, records=records,
+                         ops=ops, clients=4, seed=0)
+    checker.uninstall()
+    return report["ops"]
+
+
 BENCHMARKS = (
     ("idle_latency", bench_idle_latency),
     ("bandwidth_1t", bench_bandwidth_1t),
@@ -140,6 +167,7 @@ BENCHMARKS = (
     ("serve_closed", bench_serve_closed),
     ("serve_open", bench_serve_open),
     ("serve_chaos", bench_serve_chaos),
+    ("pmcheck_overhead", bench_pmcheck_overhead),
 )
 
 

@@ -86,6 +86,13 @@ class _Env:
         self.clients = payload["clients"]
         self.rate_kops = payload.get("rate_kops")
         self.machine = Machine()
+        # Optional persistency-order checking; the key is only present
+        # in the payload when enabled, so checked and unchecked cells
+        # keep distinct cache addresses and plain cells keep theirs.
+        self.pmcheck = None
+        if payload.get("pmcheck"):
+            from repro.pmcheck import PmCheck
+            self.pmcheck = PmCheck(self.machine).install()
         self.controller = FaultController(
             self.machine, seed=self.seed,
             tear=(self.scenario == "power-fail"))
@@ -197,6 +204,7 @@ def _apply(env, thread, client, req):
     leaves it un-acked (in flight), which is exactly the client's view.
     """
     service = env.service
+    pmcheck = env.pmcheck
     key = make_key(req.key_index)
     op = req.op
     if op == "read":
@@ -206,20 +214,32 @@ def _apply(env, thread, client, req):
     elif op == "update" or op == "insert":
         mut = env.history.begin(client, PUT, req.key_index,
                                 req.version, thread.now)
+        if pmcheck is not None:
+            pmcheck.op_begin(thread, op)
         service.put(thread, key,
                     make_value(env.spec, req.key_index, req.version))
+        if pmcheck is not None:
+            pmcheck.op_ack(thread)
         env.history.ack(mut, thread.now)
     elif op == "rmw":
         service.get(thread, key)
         mut = env.history.begin(client, PUT, req.key_index,
                                 req.version, thread.now)
+        if pmcheck is not None:
+            pmcheck.op_begin(thread, op)
         service.put(thread, key,
                     make_value(env.spec, req.key_index, req.version))
+        if pmcheck is not None:
+            pmcheck.op_ack(thread)
         env.history.ack(mut, thread.now)
     elif op == "delete":
         mut = env.history.begin(client, DELETE, req.key_index, 0,
                                 thread.now)
+        if pmcheck is not None:
+            pmcheck.op_begin(thread, op)
         service.delete(thread, key)
+        if pmcheck is not None:
+            pmcheck.op_ack(thread)
         env.history.ack(mut, thread.now)
     else:
         raise ValueError("unknown op %r" % op)
@@ -478,7 +498,7 @@ def _cell_inner(payload):
     finally:
         env.injector.uninstall()
     crashes = sum(1 for r in env.recoveries if not r["final"])
-    return {
+    record = {
         "workload": payload["workload"],
         "substrate": payload["substrate"],
         "scenario": env.scenario,
@@ -502,3 +522,7 @@ def _cell_inner(payload):
         "violations": env.violations,
         "service": env.service.stats(),
     }
+    if env.pmcheck is not None:
+        record["pmcheck"] = env.pmcheck.summary()
+        env.pmcheck.uninstall()
+    return record

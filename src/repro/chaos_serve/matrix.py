@@ -46,7 +46,7 @@ CASE_RETRIES = 1
 
 
 def build_chaos_grid(workload=None, substrate=None, quick=False,
-                     seed=0, naive=False):
+                     seed=0, naive=False, pmcheck=False):
     """The cell payloads one chaos run covers, in deterministic order.
 
     ``workload``/``substrate`` restrict the matrix to one value (the
@@ -67,6 +67,10 @@ def build_chaos_grid(workload=None, substrate=None, quick=False,
     base = dict(shape)
     base["seed"] = seed
     base["naive"] = bool(naive)
+    if pmcheck:
+        # Only present when enabled: plain cells keep their existing
+        # cache addresses and manifests byte-identical.
+        base["pmcheck"] = True
 
     payloads = []
     for wname in workloads:
@@ -94,6 +98,7 @@ class ChaosServeRun:
     manifest: RunManifest
     records: list
     violations: list = field(default_factory=list)
+    pmcheck_violations: list = field(default_factory=list)
 
     @property
     def failures(self):
@@ -102,22 +107,26 @@ class ChaosServeRun:
     @property
     def ok(self):
         """Clean = every cell ran *and* the oracle stayed silent."""
-        return not self.failures and not self.violations
+        return (not self.failures and not self.violations
+                and not self.pmcheck_violations)
 
 
 def run_chaos_serve(workload=None, substrate=None, quick=False, seed=0,
                     naive=False, jobs=None, cache=None, progress=None,
-                    trace_dir=None):
+                    trace_dir=None, pmcheck=False):
     """Run the chaos matrix through the harness.
 
     Returns a :class:`ChaosServeRun`; ``violations`` aggregates every
     durability violation any cell's oracle reported, each annotated
     with its cell so the CLI can print the offending history window.
+    With ``pmcheck`` the persistency-order checker rides along in every
+    cell and its findings land in ``pmcheck_violations``.
     """
     if cache is None:
         cache = ResultCache()
     payloads = build_chaos_grid(workload=workload, substrate=substrate,
-                                quick=quick, seed=seed, naive=naive)
+                                quick=quick, seed=seed, naive=naive,
+                                pmcheck=pmcheck)
     outcomes, keys, traces = run_cached_points(
         chaos_serve_cell, payloads, CHAOS_EXPERIMENT, cache=cache,
         jobs=jobs, progress=progress, timeout_s=CASE_TIMEOUT_S,
@@ -135,6 +144,7 @@ def run_chaos_serve(workload=None, substrate=None, quick=False, seed=0,
         jobs=1, started=0.0)
     records = []
     violations = []
+    pmcheck_violations = []
     for payload, outcome, key, trace in zip(payloads, outcomes, keys,
                                             traces):
         record = outcome.value
@@ -147,13 +157,18 @@ def run_chaos_serve(workload=None, substrate=None, quick=False, seed=0,
         if not outcome.ok:
             continue
         records.append(outcome.value)
+        cell = {
+            "workload": payload["workload"],
+            "substrate": payload["substrate"],
+            "scenario": payload["scenario"],
+            "mode": payload["mode"],
+        }
         for violation in outcome.value.get("violations", ()):
-            violations.append(dict(violation, cell={
-                "workload": payload["workload"],
-                "substrate": payload["substrate"],
-                "scenario": payload["scenario"],
-                "mode": payload["mode"],
-            }))
+            violations.append(dict(violation, cell=dict(cell)))
+        for violation in outcome.value.get(
+                "pmcheck", {}).get("violations", ()):
+            pmcheck_violations.append(dict(violation, cell=dict(cell)))
     manifest.wall_s = 0.0
     return ChaosServeRun(manifest=manifest, records=records,
-                         violations=violations)
+                         violations=violations,
+                         pmcheck_violations=pmcheck_violations)

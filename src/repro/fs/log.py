@@ -145,6 +145,15 @@ class InodeLog:
         self._adopt_page(thread, new_page)
         dev, off = split_gaddr(self.tail_page)
         ns = self.fs.devices[dev]
+        pmcheck = thread.machine.pmcheck
+        if pmcheck is not None:
+            new_dev, new_off = split_gaddr(new_page)
+            pmcheck.require_order(
+                [(self.fs.devices[new_dev], new_off, 8)],
+                [(ns, off, 8)],
+                note="nova log grow: the fresh page's zeroed "
+                     "next-pointer must be durable before the old "
+                     "tail links to it")
         # Persist the next-pointer in the old tail's header (only after
         # the new page's own header is durably clean).
         ns.ntstore(thread, off, 8, data=struct.pack("<Q", new_page))

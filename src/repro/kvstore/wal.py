@@ -163,6 +163,9 @@ class WalFlex(WalBase):
         self._check_space(padded)
         self.ns.ntstore(thread, self.tail_addr, padded,
                         data=record + b"\x00" * (padded - len(record)))
-        if sync:
+        if sync and not self.naive:
+            # The ntstore sits in the WPQ until something fences it; a
+            # naive writer skips the sfence and acks a write nothing
+            # ordered (pmcheck flags this as ack-before-fence).
             thread.sfence()
         self.tail += padded

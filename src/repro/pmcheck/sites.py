@@ -1,0 +1,51 @@
+"""Call-site attribution for checker findings.
+
+A violation is only actionable if it names the substrate line that
+issued the store/flush/fence, not the simulator frame that modeled it.
+``call_site`` walks the Python stack (only ever on checker paths, so
+the cost is zero when checking is off) to the first frame *outside* the
+simulator, the checker itself and the thin pool-IO wrapper, and renders
+it as ``"<module path>:<function>:<line>"`` — stable across runs, hosts
+and job counts, so violation reports stay byte-identical.
+"""
+
+import os
+import sys
+
+_SEP = os.sep
+#: Stack frames from these locations model the hardware (or are the
+#: checker observing it); the *caller* above them is the site to blame.
+#: ``pmdk/pool.py`` is a raw-IO convenience wrapper shared by several
+#: substrates — blaming it would attribute every pool write to one line.
+_SKIP_PARTS = (
+    "repro" + _SEP + "sim" + _SEP,
+    "repro" + _SEP + "pmcheck" + _SEP,
+    "repro" + _SEP + "pmdk" + _SEP + "pool.py",
+)
+_SHORTEN_MARK = "repro" + _SEP
+
+
+def _shorten(filename):
+    at = filename.rfind(_SHORTEN_MARK)
+    if at >= 0:
+        return filename[at + len(_SHORTEN_MARK):].replace(_SEP, "/")
+    return os.path.basename(filename)
+
+
+def call_site(skip=2):
+    """The first stack frame outside the simulator/checker, as a tag.
+
+    ``skip`` frames at the top (``call_site`` itself plus its caller
+    inside the checker) are always ignored.
+    """
+    frame = sys._getframe(skip)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        for part in _SKIP_PARTS:
+            if part in filename:
+                break
+        else:
+            return "%s:%s:%d" % (_shorten(filename),
+                                 frame.f_code.co_name, frame.f_lineno)
+        frame = frame.f_back
+    return "<toplevel>"

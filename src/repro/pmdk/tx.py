@@ -84,6 +84,20 @@ class Transaction:
             raise TransactionError("undo log full")
         self.pool.ns.ntstore(self.thread, self._log_tail, span,
                              data=blob + b"\x00" * (span - len(blob)))
+        # Two back-to-back fences, both load-bearing: the first orders
+        # the entry body before the count that makes it reachable (a
+        # single fence after both would admit a count-without-data torn
+        # state the CRC could *usually* but not *always* reject — the
+        # old data bytes might be valid-looking); the second orders the
+        # count before the caller's in-place modification of the
+        # snapshotted range, which must not outrun its own undo entry.
+        pmcheck = self.thread.machine.pmcheck
+        if pmcheck is not None:
+            pmcheck.require_order(
+                [(self.pool.ns, self._log_tail, span)],
+                [(self.pool.ns, self._lane_base, _LANE_HEADER.size)],
+                note="pmdk undo log: the entry body must be durable "
+                     "before the lane count that makes it reachable")
         self.thread.sfence()
         # Persist the new entry count: the entry is now reachable.
         self._entries += 1
@@ -104,13 +118,25 @@ class Transaction:
             self._modified.append((offset, len(data)))
 
     def commit(self):
-        """Flush modified ranges, then invalidate the undo log."""
+        """Flush modified ranges, then invalidate the undo log.
+
+        The fence between the flushes and the log invalidation (inside
+        :meth:`_invalidate_log`'s predecessor, the sfence below) is
+        load-bearing: the new data must be durable before the undo log
+        stops protecting it, or a crash in between replays stale bytes
+        over a half-flushed range.  An empty transaction skips both
+        steps — there is nothing to flush and the log was never armed,
+        so the fences would be pure cost (pmcheck: redundant-fence).
+        """
         if not self._active:
             raise TransactionError("no active transaction")
-        for offset, size in self._modified:
-            self.pool.ns.clwb(self.thread, self.pool.addr(offset), size)
-        self.thread.sfence()
-        self._invalidate_log()
+        if self._modified:
+            for offset, size in self._modified:
+                self.pool.ns.clwb(self.thread, self.pool.addr(offset),
+                                  size)
+            self.thread.sfence()
+        if self._entries:
+            self._invalidate_log()
         self._active = False
 
     def abort(self):
@@ -120,12 +146,17 @@ class Transaction:
         for offset, size, data in reversed(self._read_log_volatile()):
             self.pool.ns.pwrite(self.thread, self.pool.addr(offset),
                                 data, instr="clwb")
-        self._invalidate_log()
+        if self._entries:
+            self._invalidate_log()
         self._active = False
 
     def _invalidate_log(self):
         self.pool.ns.ntstore(self.thread, self._lane_base, 8,
                              data=_LANE_HEADER.pack(0))
+        # Load-bearing fence: the zeroed count must be durable before
+        # the *next* transaction appends entries, or a crash could pair
+        # the old count with new (CRC-valid!) entries and roll back a
+        # committed transaction.
         self.thread.sfence()
         self._entries = 0
 
@@ -200,6 +231,9 @@ def recover_report(pool, thread):
         for offset, size, data in reversed(entries):
             pool.ns.pwrite(thread, pool.addr(offset), data, instr="clwb")
             restored += 1
+        # Same fence discipline as _invalidate_log: the rollback's
+        # restores are fenced by pwrite above; the count reset must be
+        # durable before post-recovery transactions reuse the lane.
         pool.ns.ntstore(thread, lane_base, 8, data=_LANE_HEADER.pack(0))
         thread.sfence()
     return restored, report

@@ -36,7 +36,7 @@ class CMap:
     """Concurrent persistent hash map over a :class:`PmemPool`."""
 
     def __init__(self, pool, buckets=4096, stripes=64, table_off=None,
-                 atomic_updates=False):
+                 atomic_updates=False, naive=False):
         self.pool = pool
         self.buckets = buckets
         self.stripes = stripes
@@ -46,6 +46,10 @@ class CMap:
         #: half new bytes with nothing to detect it.  Chaos serving
         #: turns this on; ``--naive`` leaves the tear hazard in.
         self.atomic_updates = atomic_updates
+        #: Hardening-stripped mode: in-place updates skip the sfence
+        #: after the flush (the common "clflushopt is enough" mistake —
+        #: pmcheck flags the ack as ack-before-fence).
+        self.naive = naive
         self._vtable = [0] * buckets       # volatile mirror of buckets
         self._vindex = {}                  # key -> (bucket, obj_off)
         self._lock_free_at = [0.0] * stripes
@@ -62,12 +66,28 @@ class CMap:
     def _encode_obj(self, key, value):
         return _OBJ_HEADER.pack(len(key), 0, len(value)) + key + value
 
-    def _persist(self, thread, offset, data):
+    def _persist(self, thread, offset, data, fence=True):
         """Store + clflushopt + fence (pmemkv's persist evicts lines)."""
         addr = self.pool.addr(offset)
         self.pool.ns.store(thread, addr, len(data), data=data)
         self.pool.ns.clflushopt(thread, addr, len(data))
-        thread.sfence()
+        if fence:
+            thread.sfence()
+
+    def _declare_publish_order(self, thread, obj_off, obj_len, idx):
+        """Tell an installed pmcheck the object must be durable before
+        the 8-byte bucket pointer publishes it (declared between the
+        two persists, which is the point of no return for the rule)."""
+        pmcheck = thread.machine.pmcheck
+        if pmcheck is not None:
+            ns = self.pool.ns
+            pmcheck.require_order(
+                [(ns, self.pool.addr(obj_off), obj_len)],
+                [(ns, self.pool.addr(self._bucket_addr(idx)),
+                  _BUCKET.size)],
+                note="cmap publish: the key/value object must be "
+                     "durable before the bucket pointer that makes it "
+                     "reachable")
 
     def _stripe_for(self, idx):
         return idx % self.stripes
@@ -99,6 +119,7 @@ class CMap:
             obj_off = self.pool.heap.alloc(len(obj)) - self.pool.base
             # 1. Persist the object, 2. publish the bucket pointer.
             self._persist(thread, obj_off, obj)
+            self._declare_publish_order(thread, obj_off, len(obj), idx)
             self._persist(thread, self._bucket_addr(idx),
                           _BUCKET.pack(obj_off))
             self._vtable[idx] = obj_off
@@ -113,11 +134,12 @@ class CMap:
             # In-place value overwrite (read-modify-write).
             vaddr = obj_off + _OBJ_HEADER.size + len(key)
             self.pool.read(thread, vaddr, len(value))
-            self._persist(thread, vaddr, value)
+            self._persist(thread, vaddr, value, fence=not self.naive)
             return
         obj = self._encode_obj(key, value)
         new_off = self.pool.heap.alloc(len(obj)) - self.pool.base
         self._persist(thread, new_off, obj)
+        self._declare_publish_order(thread, new_off, len(obj), idx)
         self._persist(thread, self._bucket_addr(idx),
                       _BUCKET.pack(new_off))
         self.pool.heap.free(self.pool.base + obj_off,
@@ -237,7 +259,7 @@ class CMap:
 
     @classmethod
     def open_report(cls, pool, table_off, buckets=4096, stripes=64,
-                    atomic_updates=False):
+                    atomic_updates=False, naive=False):
         """Tolerant reopen: ``(cmap, RecoveryReport)``, never raises.
 
         Unlike :meth:`open`, media errors during the table scan are
@@ -262,7 +284,8 @@ class CMap:
 
         report = RecoveryReport(component="cmap")
         inst = cls(pool, buckets=buckets, stripes=stripes,
-                   table_off=table_off, atomic_updates=atomic_updates)
+                   table_off=table_off, atomic_updates=atomic_updates,
+                   naive=naive)
         high_water = table_off + buckets * _BUCKET.size
         for idx in range(buckets):
             try:

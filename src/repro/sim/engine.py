@@ -342,12 +342,28 @@ class ThreadCtx:
 
     def sfence(self):
         """Order prior flushes/write-backs/ntstores: wait for the ADR."""
+        machine = self.machine
+        if machine is not None and machine.pmcheck is not None:
+            machine.pmcheck.on_sfence(self)
+        if not self.pending_persists:
+            # Nothing to order: a real sfence with an empty store queue
+            # retires without stalling, so charging fence_ns here would
+            # overstate latency (and the checker's redundant-fence
+            # detector depends on an empty sfence being exactly free).
+            return self.now
         self.drain_persists()
         self.now += self.fence_ns
         return self.now
 
     def mfence(self):
-        """Full fence: drain loads, stores and pending persists."""
+        """Full fence: drain loads, stores and pending persists.
+
+        Unlike :meth:`sfence`, an mfence serializes the whole pipeline
+        even when nothing is pending, so its cost is unconditional.
+        """
+        machine = self.machine
+        if machine is not None and machine.pmcheck is not None:
+            machine.pmcheck.on_mfence(self)
         self.drain()
         self.drain_persists()
         self.now += self.fence_ns

@@ -78,12 +78,24 @@ class Namespace:
         # only equivalent when no subclass specializes the primitives
         # they fold together and nothing is tracing; otherwise — and
         # under REPRO_FASTPATH=0 — the composed generic path runs.
+        self._recompute_plain()
+
+    def _recompute_plain(self):
+        """(Re)derive eligibility for the fused per-line fast paths.
+
+        Called at construction and whenever a persistency checker is
+        installed/uninstalled on the machine: while a checker observes
+        the persist path, the composed reference paths must run so the
+        per-event hooks fire (PR 4 proved them byte-identical to the
+        fused bodies, so results do not change — only speed).
+        """
         cls = type(self)
         self._plain = (
             cls._send_store is Namespace._send_store
             and cls._store_line is Namespace._store_line
             and cls._load_line is Namespace._load_line
-            and machine.tracer is None)
+            and self.machine.tracer is None
+            and self.machine.pmcheck is None)
 
     # -- helpers --------------------------------------------------------------
 
@@ -214,6 +226,9 @@ class Namespace:
             self._store_line(thread, line)
 
     def _store_line(self, thread, line):
+        pmcheck = self.machine.pmcheck
+        if pmcheck is not None:
+            pmcheck.on_store(thread, self.ns_id, line)
         thread.now += self._cache_cfg.issue_ns
         cache = self._caches[thread.socket]
         ns_id = self.ns_id
@@ -309,6 +324,9 @@ class Namespace:
         thread.now += self._cache_cfg.flush_issue_ns
         dirty, ready = self._caches[thread.socket].clean_ready(
             (self.ns_id, line))
+        pmcheck = self.machine.pmcheck
+        if pmcheck is not None:
+            pmcheck.on_flush(thread, self.ns_id, line)
         if dirty:
             self._send_store(thread, line, instr="clwb", ordered=True,
                              not_before=ready)
@@ -318,6 +336,7 @@ class Namespace:
         flush_issue_ns = self._cache_cfg.flush_issue_ns
         ns_id = self.ns_id
         send = self._send_store
+        pmcheck = self.machine.pmcheck
         if not addr % CACHELINE and 0 < size <= CACHELINE:
             lines = (addr,)
         else:
@@ -330,6 +349,8 @@ class Namespace:
                 dirty = cache.invalidate(key)
             else:
                 dirty, ready = cache.clean_ready(key)
+            if pmcheck is not None:
+                pmcheck.on_flush(thread, ns_id, line)
             if dirty:
                 send(thread, line, instr="clwb", ordered=True,
                      not_before=ready)
@@ -347,7 +368,10 @@ class Namespace:
         issue_ns = self._cache_cfg.issue_ns
         ns_id = self.ns_id
         send = self._send_store
+        pmcheck = self.machine.pmcheck
         for line in line_addresses(addr, size):
+            if pmcheck is not None:
+                pmcheck.on_ntstore(thread, ns_id, line)
             thread.now += issue_ns
             invalidate((ns_id, line))
             send(thread, line, instr="nt", ordered=True)
@@ -362,6 +386,9 @@ class Namespace:
         specializes a primitive, a tracer is attached, or the fast path
         is globally disabled.
         """
+        pmcheck = self.machine.pmcheck
+        if pmcheck is not None:
+            pmcheck.on_ntstore(thread, self.ns_id, line)
         thread.now += self._cache_cfg.issue_ns
         cache = self._caches[thread.socket]
         ns_id = self.ns_id
@@ -695,6 +722,9 @@ class Namespace:
 
     def _evict_writeback(self, line, now):
         """A natural cache eviction wrote this dirty line back."""
+        pmcheck = self.machine.pmcheck
+        if pmcheck is not None:
+            pmcheck.on_evict(self.ns_id, line)
         channel, dimm = self._route(line)
         ch_end = channel.transfer_writeback(now)
         dimm.ingest_write(ch_end, self._dev_addr(line))

@@ -71,6 +71,10 @@ class Machine:
         # Optional fault controller (see repro.faults.model): torn
         # writes, poison, transient errors, thermal throttling.
         self.faults = None
+        # Optional persistency-order checker (see repro.pmcheck): set
+        # via PmCheck.install(); namespaces read it on every persist
+        # event, so None must mean "no work at all".
+        self.pmcheck = None
 
     # -- namespace management ------------------------------------------------
 
@@ -134,6 +138,10 @@ class Machine:
         stored energy drains every dirty cache line to media first, as
         the whole-system-persistence proposals of Section 6 would.
         """
+        if self.pmcheck is not None:
+            # Audit dirty lines before any state is dropped, then reset
+            # the checker to the post-failure all-clean world.
+            self.pmcheck.on_power_fail()
         if self.faults is not None and not self.config.cache.eadr:
             # Torn-write semantics: the final XPLine may keep only a
             # prefix of its 64 B chunks (see repro.faults.model).

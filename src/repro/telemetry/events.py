@@ -33,10 +33,12 @@ CAT_SERVE = "serve"        # per-request serving spans (repro.workloads)
 CAT_COUNTER = "counter"    # periodic counter-timeline samples
 CAT_CHAOS = "chaos"        # mid-serve fault injection and recovery spans
 CAT_DEGRADE = "degrade"    # retries, breaker transitions, shed requests
+CAT_PMCHECK = "pmcheck"    # persistency-order violations (repro.pmcheck)
 
 CATEGORIES = (
     CAT_WPQ, CAT_XPBUFFER, CAT_AIT, CAT_MEDIA, CAT_UPI, CAT_DRAM,
     CAT_MEM, CAT_FAULT, CAT_SERVE, CAT_COUNTER, CAT_CHAOS, CAT_DEGRADE,
+    CAT_PMCHECK,
 )
 
 #: Chrome trace_event phases emitted by the tracer.

@@ -40,22 +40,41 @@ def execute_request(service, thread, spec, req):
     """Apply one generated request to a service on a thread.
 
     Returns the op actually performed (rmw stays "rmw").
+
+    This is where the service acks: when a mutation returns, the client
+    may act on it, so an installed persistency checker
+    (:mod:`repro.pmcheck`) treats the return as the ack boundary —
+    every PM line the mutation wrote must be fence-ordered durable by
+    then.  Reads and scans promise nothing and are not windowed.
     """
+    pmcheck = thread.machine.pmcheck
     key = make_key(req.key_index)
     op = req.op
     if op == "read":
         service.get(thread, key)
     elif op == "update" or op == "insert":
+        if pmcheck is not None:
+            pmcheck.op_begin(thread, op)
         service.put(thread, key,
                     make_value(spec, req.key_index, req.version))
+        if pmcheck is not None:
+            pmcheck.op_ack(thread)
     elif op == "scan":
         service.scan(thread, key, req.scan_len)
     elif op == "rmw":
         service.get(thread, key)
+        if pmcheck is not None:
+            pmcheck.op_begin(thread, op)
         service.put(thread, key,
                     make_value(spec, req.key_index, req.version))
+        if pmcheck is not None:
+            pmcheck.op_ack(thread)
     elif op == "delete":
+        if pmcheck is not None:
+            pmcheck.op_begin(thread, op)
         service.delete(thread, key)
+        if pmcheck is not None:
+            pmcheck.op_ack(thread)
     else:
         raise ValueError("unknown op %r" % op)
     return op

@@ -70,6 +70,14 @@ def _serve_point(payload):
 def _measure(machine_cls, params):
     spec = get_workload(params["workload"])
     machine = machine_cls()
+    checker = None
+    if params.get("pmcheck"):
+        # Install before preload so the checker sees the whole persist
+        # history.  "pmcheck" only appears in the payload when enabled,
+        # so plain points keep their existing cache addresses.
+        from repro.pmcheck import PmCheck
+        checker = PmCheck(machine)
+        checker.install()
     service = make_service(params["substrate"], machine, spec,
                            records=params["records"],
                            ops=params["ops"], seed=params["seed"])
@@ -85,6 +93,9 @@ def _measure(machine_cls, params):
     report["workload"] = params["workload"]
     report["substrate"] = params["substrate"]
     report["service"] = service.stats()
+    if checker is not None:
+        report["pmcheck"] = checker.summary()
+        checker.uninstall()
     return report
 
 
@@ -112,7 +123,8 @@ def _one_point(params, **harness):
 
 
 def serve(workload, substrate, quick=False, slo_p99_us=None, seed=0,
-          jobs=None, cache=None, trace_dir=None, progress=None):
+          jobs=None, cache=None, trace_dir=None, progress=None,
+          pmcheck=False):
     """Full serving study of one workload x substrate pair.
 
     Returns ``(report, curve_manifest)``:
@@ -125,7 +137,9 @@ def serve(workload, substrate, quick=False, slo_p99_us=None, seed=0,
        open-loop p99 meets the SLO.
 
     The report is pure virtual-time data: byte-identical for the same
-    arguments on any host, serial or parallel.
+    arguments on any host, serial or parallel.  With ``pmcheck`` the
+    persistency-order checker rides along in every point and the
+    report gains a ``pmcheck`` section aggregating its findings.
     """
     get_workload(workload)
     if substrate not in SUBSTRATES:
@@ -139,6 +153,8 @@ def serve(workload, substrate, quick=False, slo_p99_us=None, seed=0,
     harness = dict(jobs=jobs, cache=cache, trace_dir=trace_dir,
                    progress=progress)
     base = _base_params(workload, substrate, shape, seed)
+    if pmcheck:
+        base["pmcheck"] = True
 
     closed = _one_point(dict(base, mode="closed"), **harness)
     closed_kops = closed["achieved_kops"]
@@ -177,6 +193,21 @@ def serve(workload, substrate, quick=False, slo_p99_us=None, seed=0,
         "curve": curve,
         "saturation": saturation,
     }
+    if pmcheck:
+        violations = []
+        total = 0
+        points = [("closed", closed)] + [("open", rec)
+                                         for rec in curve_run.records]
+        for mode, rec in points:
+            summary = rec.get("pmcheck")
+            if not summary:
+                continue
+            total += summary.get("total", 0)
+            for violation in summary.get("violations", ()):
+                violations.append(dict(violation, cell={
+                    "workload": workload, "substrate": substrate,
+                    "mode": mode}))
+        report["pmcheck"] = {"total": total, "violations": violations}
     return report, curve_run.manifest
 
 

@@ -148,7 +148,7 @@ class PMemKVService(Service):
                                     size=size)
             buckets = max(1024, self._OVERPROVISION * keys)
             _cmap = CMap(_pool, buckets=buckets,
-                         atomic_updates=not naive)
+                         atomic_updates=not naive, naive=naive)
         self.pool = _pool
         self.cmap = _cmap
         self._sorted_keys = sorted(
@@ -191,7 +191,8 @@ class PMemKVService(Service):
         cmap, report = CMap.open_report(
             pool, self.cmap.table_offset, buckets=self.cmap.buckets,
             stripes=self.cmap.stripes,
-            atomic_updates=self.cmap.atomic_updates)
+            atomic_updates=self.cmap.atomic_updates,
+            naive=self.cmap.naive)
         service = PMemKVService(self.machine, records=self.records,
                                 seed=self.seed, naive=self.naive,
                                 _pool=pool, _cmap=cmap)
@@ -382,6 +383,20 @@ class PMDKService(Service):
             raise ValueError("key/value exceeds slot layout")
         return self._SLOT_HEADER.pack(len(key), len(value)) + key + value
 
+    def _declare_publish_order(self, thread, off, blob_len):
+        """Tell an installed pmcheck the slot body must be durable
+        before the header that publishes it (the header shares its
+        cache line with the body's first bytes; pmcheck checks shared
+        lines on the later side only)."""
+        pmcheck = thread.machine.pmcheck
+        if pmcheck is not None:
+            ns = self.pool.ns
+            pmcheck.require_order(
+                [(ns, self.pool.addr(off), blob_len)],
+                [(ns, self.pool.addr(off), self._SLOT_HEADER.size)],
+                note="pmdk fresh slot: the body must be durable before "
+                     "the header that makes the slot visible")
+
     def get(self, thread, key):
         slot = self._slots.get(key)
         if slot is None:
@@ -414,9 +429,15 @@ class PMDKService(Service):
             # first bytes, so their persist order could not be forced.
             self.pool.write(thread, off + self._SLOT_HEADER.size,
                             blob[self._SLOT_HEADER.size:])
+            self._declare_publish_order(thread, off, len(blob))
             self.pool.write(thread, off,
                             blob[:self._SLOT_HEADER.size])
             return
+        if fresh:
+            # Naive fresh path: same ordering requirement, declared so
+            # pmcheck can prove the single-fence commit below violates
+            # it (body and header become durable in one fence).
+            self._declare_publish_order(thread, off, len(blob))
         with Transaction(self.pool, thread) as tx:
             # A fresh slot holds no live data: skip the snapshot (the
             # publish is the header becoming non-zero), exactly

@@ -1,0 +1,73 @@
+"""The ``pmcheck`` verb and ``serve --pmcheck``."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path
+
+
+class TestPmCheckCli:
+    def test_protected_cell_exits_0_with_report(self, cache_env,
+                                                capsys):
+        out = str(cache_env / "pmcheck.json")
+        assert main(["pmcheck", "ycsb-a", "lsm", "--quick",
+                     "--jobs", "1", "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "persistency-order check (quick)" in stdout
+        assert "clean" in stdout
+        with open(out) as fh:
+            report = json.load(fh)
+        assert report["violations"] == []
+        assert len(report["cells"]) == 1
+        assert os.path.exists(out + ".manifest.json")
+
+    def test_naive_detects_violations_and_exits_1(self, cache_env,
+                                                  capsys):
+        out = str(cache_env / "naive.json")
+        assert main(["pmcheck", "ycsb-a", "lsm", "--quick", "--naive",
+                     "--jobs", "1", "--out", out]) == 1
+        stdout = capsys.readouterr().out
+        assert "PERSISTENCY-ORDER VIOLATIONS" in stdout
+        assert "ack-before-fence" in stdout
+        assert "kvstore/wal.py" in stdout
+        with open(out) as fh:
+            report = json.load(fh)
+        assert report["violations"]
+
+    def test_naive_nova_exits_2(self, cache_env, capsys):
+        assert main(["pmcheck", "ycsb-a", "nova", "--quick",
+                     "--naive"]) == 2
+        assert "naive" in capsys.readouterr().err
+
+    def test_unknown_workload_exits_2(self, cache_env, capsys):
+        assert main(["pmcheck", "nope", "lsm", "--quick"]) == 2
+
+
+class TestServePmCheck:
+    def test_serve_pmcheck_clean_exits_0(self, cache_env, capsys):
+        out = str(cache_env / "serve.json")
+        assert main(["serve", "ycsb-a", "lsm", "--quick", "--pmcheck",
+                     "--jobs", "1", "--out", out]) == 0
+        stdout = capsys.readouterr().out
+        assert "pmcheck: persist ordering clean" in stdout
+        with open(out) as fh:
+            report = json.load(fh)
+        assert report["pmcheck"] == {"total": 0, "violations": []}
+
+    def test_serve_without_pmcheck_has_no_section(self, cache_env,
+                                                  capsys):
+        out = str(cache_env / "plain.json")
+        assert main(["serve", "ycsb-a", "lsm", "--quick",
+                     "--jobs", "1", "--out", out]) == 0
+        capsys.readouterr()
+        with open(out) as fh:
+            report = json.load(fh)
+        assert "pmcheck" not in report

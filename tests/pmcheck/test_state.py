@@ -1,0 +1,282 @@
+"""Unit tests for the persistency-order state machine."""
+
+import pytest
+
+from repro._units import CACHELINE
+from repro.pmcheck import KINDS, PmCheck, checking
+from repro.pmcheck.state import (
+    V_ACK_BEFORE_FENCE, V_DIRTY_AT_POWER_FAIL, V_FENCE_WITHOUT_FLUSH,
+    V_REDUNDANT_FENCE, V_REDUNDANT_FLUSH, V_UNFLUSHED_AT_ACK,
+    V_UNORDERED,
+)
+from repro.sim.platform import Machine
+
+
+@pytest.fixture
+def rig():
+    machine = Machine()
+    checker = PmCheck(machine).install()
+    ns = machine.namespace("optane")
+    thread = machine.thread()
+    return machine, checker, ns, thread
+
+
+def kinds(checker):
+    return checker.summary()["kinds"]
+
+
+class TestCleanProtocols:
+    def test_store_clwb_sfence_ack_is_clean(self, rig):
+        _, checker, ns, t = rig
+        checker.op_begin(t, "update")
+        ns.store(t, 0)
+        ns.clwb(t, 0)
+        t.sfence()
+        checker.op_ack(t)
+        assert checker.summary()["total"] == 0
+
+    def test_ntstore_sfence_ack_is_clean(self, rig):
+        _, checker, ns, t = rig
+        checker.op_begin(t, "insert")
+        ns.ntstore(t, 0, 256)
+        t.sfence()
+        checker.op_ack(t)
+        assert checker.summary()["total"] == 0
+
+    def test_mfence_orders_pending_and_never_flags(self, rig):
+        _, checker, ns, t = rig
+        checker.op_begin(t, "update")
+        ns.store(t, 0)
+        ns.clwb(t, 0)
+        t.mfence()
+        checker.op_ack(t)
+        t.mfence()        # empty mfence: drains loads, never redundant
+        assert checker.summary()["total"] == 0
+
+
+class TestAckViolations:
+    def test_dirty_line_at_ack_is_unflushed(self, rig):
+        _, checker, ns, t = rig
+        checker.op_begin(t, "update")
+        ns.store(t, 0)
+        checker.op_ack(t)
+        assert kinds(checker) == {V_UNFLUSHED_AT_ACK: 1}
+
+    def test_pending_line_at_ack_is_ack_before_fence(self, rig):
+        _, checker, ns, t = rig
+        checker.op_begin(t, "update")
+        ns.store(t, 0)
+        ns.clwb(t, 0)
+        checker.op_ack(t)
+        assert kinds(checker) == {V_ACK_BEFORE_FENCE: 1}
+
+    def test_evicted_line_at_ack_is_unflushed(self, rig):
+        _, checker, ns, t = rig
+        checker.op_begin(t, "update")
+        ns.store(t, 0)
+        checker.on_evict(ns.ns_id, 0)
+        checker.op_ack(t)
+        summary = checker.summary()
+        assert summary["kinds"] == {V_UNFLUSHED_AT_ACK: 1}
+        assert "eviction" in summary["violations"][0]["note"]
+
+    def test_redirtied_line_is_not_durabled_by_stale_wpq_entry(self, rig):
+        _, checker, ns, t = rig
+        checker.op_begin(t, "update")
+        ns.store(t, 0)
+        ns.clwb(t, 0)
+        ns.store(t, 0)     # re-dirty: the pending entry is now stale
+        t.sfence()
+        checker.op_ack(t)
+        assert kinds(checker) == {V_UNFLUSHED_AT_ACK: 1}
+
+    def test_ack_without_window_is_a_noop(self, rig):
+        _, checker, ns, t = rig
+        ns.store(t, 0)
+        checker.op_ack(t)   # never began: nothing to audit
+        assert checker.summary()["total"] == 0
+
+
+class TestFenceViolations:
+    def test_sfence_over_dirty_lines_is_fence_without_flush(self, rig):
+        _, checker, ns, t = rig
+        ns.store(t, 0)
+        t.sfence()
+        assert kinds(checker) == {V_FENCE_WITHOUT_FLUSH: 1}
+
+    def test_sfence_with_nothing_is_redundant(self, rig):
+        _, checker, ns, t = rig
+        t.sfence()
+        assert kinds(checker) == {V_REDUNDANT_FENCE: 1}
+
+    def test_back_to_back_sfence_after_real_work_is_redundant(self, rig):
+        _, checker, ns, t = rig
+        ns.store(t, 0)
+        ns.clwb(t, 0)
+        t.sfence()
+        t.sfence()
+        assert kinds(checker) == {V_REDUNDANT_FENCE: 1}
+
+
+class TestFlushViolations:
+    def test_flush_of_clean_line_is_redundant(self, rig):
+        _, checker, ns, t = rig
+        ns.clwb(t, 0)
+        assert kinds(checker) == {V_REDUNDANT_FLUSH: 1}
+
+    def test_double_flush_is_redundant(self, rig):
+        _, checker, ns, t = rig
+        ns.store(t, 0)
+        ns.clwb(t, 0)
+        ns.clwb(t, 0)
+        assert kinds(checker) == {V_REDUNDANT_FLUSH: 1}
+
+    def test_flush_of_durable_line_is_redundant(self, rig):
+        _, checker, ns, t = rig
+        ns.store(t, 0)
+        ns.clwb(t, 0)
+        t.sfence()
+        ns.clwb(t, 0)
+        assert kinds(checker) == {V_REDUNDANT_FLUSH: 1}
+
+    def test_flush_after_eviction_is_not_redundant(self, rig):
+        _, checker, ns, t = rig
+        checker.op_begin(t, "update")
+        ns.store(t, 0)
+        checker.on_evict(ns.ns_id, 0)
+        ns.clwb(t, 0)      # re-flush gives the fence something to order
+        t.sfence()
+        checker.op_ack(t)
+        assert checker.summary()["total"] == 0
+
+
+class TestPowerFail:
+    def test_dirty_line_at_power_fail_is_flagged(self, rig):
+        machine, checker, ns, t = rig
+        ns.store(t, 0)
+        machine.power_fail()
+        assert kinds(checker) == {V_DIRTY_AT_POWER_FAIL: 1}
+
+    def test_open_window_excuses_in_flight_dirty_lines(self, rig):
+        machine, checker, ns, t = rig
+        checker.op_begin(t, "update")
+        ns.store(t, 0)
+        machine.power_fail()
+        assert checker.summary()["total"] == 0
+
+    def test_already_blamed_lines_are_not_reblamed(self, rig):
+        machine, checker, ns, t = rig
+        checker.op_begin(t, "update")
+        ns.store(t, 0)
+        checker.op_ack(t)                       # unflushed-at-ack
+        machine.power_fail()
+        assert kinds(checker) == {V_UNFLUSHED_AT_ACK: 1}
+
+    def test_eadr_machines_lose_nothing(self):
+        machine = Machine()
+        machine.config.cache.eadr = True
+        checker = PmCheck(machine).install()
+        ns = machine.namespace("optane")
+        t = machine.thread()
+        ns.store(t, 0)
+        machine.power_fail()
+        assert checker.summary()["total"] == 0
+
+    def test_power_fail_resets_line_state(self, rig):
+        machine, checker, ns, t = rig
+        ns.store(t, 0)
+        machine.power_fail()
+        # Post-failure world is all-clean: the same protocol replayed
+        # correctly reports nothing new.
+        checker.op_begin(t, "update")
+        ns.store(t, 0)
+        ns.clwb(t, 0)
+        t.sfence()
+        checker.op_ack(t)
+        assert kinds(checker) == {V_DIRTY_AT_POWER_FAIL: 1}
+
+
+class TestRequireOrder:
+    def _durable(self, ns, t, addr, size=CACHELINE):
+        ns.ntstore(t, addr, size)
+        t.sfence()
+
+    def test_ordered_writes_pass(self, rig):
+        _, checker, ns, t = rig
+        self._durable(ns, t, 0)
+        checker.require_order([(ns, 0, 64)], [(ns, 128, 8)],
+                              note="body before header")
+        self._durable(ns, t, 128, 8)
+        assert checker.summary()["total"] == 0
+
+    def test_same_fence_durability_is_a_violation(self, rig):
+        _, checker, ns, t = rig
+        ns.store(t, 0)
+        ns.clwb(t, 0)
+        checker.require_order([(ns, 0, 64)], [(ns, 128, 8)])
+        ns.ntstore(t, 128, 8)
+        t.sfence()         # one fence orders both: nothing orders them
+        assert V_UNORDERED in kinds(checker)
+
+    def test_later_without_earlier_is_a_violation(self, rig):
+        _, checker, ns, t = rig
+        ns.store(t, 0)     # earlier written but never flushed
+        checker.require_order([(ns, 0, 64)], [(ns, 128, 8)])
+        self._durable(ns, t, 128, 8)
+        summary = checker.summary()
+        assert summary["kinds"] == {V_UNORDERED: 1}
+        assert "dirty" in summary["violations"][0]["note"]
+
+    def test_rule_waits_for_a_fresh_later_epoch(self, rig):
+        _, checker, ns, t = rig
+        # The later line is already durable from a previous occupant;
+        # the rule must not fire until it is re-written and re-fenced.
+        self._durable(ns, t, 128, 8)
+        self._durable(ns, t, 0)
+        checker.require_order([(ns, 0, 64)], [(ns, 128, 8)])
+        assert checker._rules
+        self._durable(ns, t, 128, 8)
+        assert not checker._rules
+        assert checker.summary()["total"] == 0
+
+    def test_shared_lines_are_checked_on_the_later_side(self, rig):
+        _, checker, ns, t = rig
+        # Header at 0, body at 0..256: the shared first line must not
+        # make the rule unsatisfiable against itself.
+        self._durable(ns, t, 0, 256)
+        checker.require_order([(ns, 0, 256)], [(ns, 0, 8)])
+        self._durable(ns, t, 0, 8)
+        assert checker.summary()["total"] == 0
+
+
+class TestReporting:
+    def test_violations_dedupe_by_site_with_counts(self, rig):
+        _, checker, ns, t = rig
+        for _ in range(5):
+            t.sfence()
+        summary = checker.summary()
+        assert summary["total"] == 5
+        assert len(summary["violations"]) == 1
+        assert summary["violations"][0]["count"] == 5
+
+    def test_site_attribution_names_this_test_file(self, rig):
+        _, checker, ns, t = rig
+        ns.store(t, 0)
+        t.sfence()
+        site = checker.summary()["violations"][0]["site"]
+        assert "test_state.py" in site
+
+    def test_kinds_is_the_full_catalogue(self):
+        assert len(KINDS) == 7
+        assert len(set(KINDS)) == 7
+
+    def test_double_install_raises(self, rig):
+        machine, checker, _, _ = rig
+        with pytest.raises(RuntimeError):
+            PmCheck(machine).install()
+
+    def test_checking_contextmanager_installs_and_uninstalls(self):
+        machine = Machine()
+        with checking(machine) as checker:
+            assert machine.pmcheck is checker
+        assert machine.pmcheck is None

@@ -124,7 +124,23 @@ class TestThreadCtx:
     def test_sfence_ignores_loads(self):
         t = make_thread()
         t.track_load(900.0)
+        t.pending_persists.append(50.0)
         t.sfence()
+        assert t.now == 50.0 + t.fence_ns
+
+    def test_empty_sfence_is_free(self):
+        # With nothing pending an sfence orders nothing and must be a
+        # true no-op in latency accounting (the pmcheck redundant-fence
+        # detector depends on this being exact).
+        t = make_thread()
+        t.now = 123.0
+        assert t.sfence() == 123.0
+        assert t.now == 123.0
+
+    def test_empty_mfence_still_serializes(self):
+        # mfence serializes the pipeline even with nothing pending.
+        t = make_thread()
+        t.mfence()
         assert t.now == t.fence_ns
 
     def test_mfence_drains_everything(self):
