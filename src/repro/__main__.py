@@ -686,11 +686,32 @@ def build_parser():
         "bench", help="wall-clock microbenchmarks of the simulator")
     bench.add_argument("--quick", action="store_true",
                        help="smaller workloads for smoke runs")
+    bench.add_argument("--repeats", type=int, default=None, metavar="N",
+                       help="timed runs per benchmark; the minimum "
+                            "wall time is kept (default: 3, or 5 "
+                            "with --quick)")
     bench.add_argument("--out", default="BENCH_sim.json",
                        help="result path (default: BENCH_sim.json)")
     bench.add_argument("--compare", default=None, metavar="BASELINE",
-                       help="exit 1 if any benchmark loses >20%% "
-                            "ops/s vs this earlier result file")
+                       help="print per-benchmark ops/s deltas vs this "
+                            "earlier result file; exit 1 past the fail "
+                            "tolerance")
+    bench.add_argument("--warn-tolerance", type=float, default=None,
+                       metavar="FRAC", dest="warn_tolerance",
+                       help="relative loss that only warns "
+                            "(default: 0.10)")
+    bench.add_argument("--fail-tolerance", type=float, default=None,
+                       metavar="FRAC", dest="fail_tolerance",
+                       help="relative loss that fails --compare "
+                            "(default: 0.20)")
+    bench.add_argument("--profile", default=None, metavar="NAME",
+                       help="cProfile one benchmark instead of timing "
+                            "the suite; writes a .pstats dump and "
+                            "prints the top 25 by cumulative time")
+    bench.add_argument("--profile-out", default=None, metavar="PATH",
+                       dest="profile_out",
+                       help="pstats dump path (default: "
+                            "bench_profile_<name>.pstats)")
     sub.add_parser("calibrate", help="paper-vs-measured headline numbers")
     sub.add_parser("guidelines", help="print the four best practices")
     audit = sub.add_parser("audit", help="audit an access pattern")

@@ -29,9 +29,27 @@ stress different code:
 Results land in ``BENCH_sim.json`` as ``{name: {wall_s, sim_ops,
 ops_per_s}}`` where ``sim_ops`` counts simulated cache-line operations
 (samples for the latency benchmark), so ``ops_per_s`` is comparable
-across machines of the same class.  ``--compare old.json`` exits
-non-zero when any benchmark loses more than 20% throughput against the
-baseline file — the regression gate `scripts/` and CI can hold on to.
+across machines of the same class.
+
+Three measurement rules keep the numbers honest:
+
+* every benchmark gets one **warm-up run** (quick shapes) before the
+  timed run, so first-use module imports and code-object warmup are
+  not billed to whichever benchmark happens to run first;
+* the serving benchmarks time **exactly the section their** ``sim_ops``
+  **counts** — the serve loop — not the machine construction and
+  record preload around it (``sim_ops`` never counted preload puts, so
+  billing their wall time made ``ops_per_s`` a mixed unit);
+* each benchmark runs several times (``--repeats``; default 3, or 5
+  under ``--quick`` where a run is nearly free) and the **minimum**
+  wall time is kept — the quick shapes run in milliseconds, where a
+  single scheduler preemption doubles the reading.
+
+``--compare old.json`` prints a per-benchmark delta table (including
+``NEW``/``REMOVED`` names, in the harness comparator's convention) and
+exits non-zero when any benchmark loses more than the fail tolerance;
+losses past the warn tolerance are reported but do not fail — the
+regression gate `scripts/` and CI can hold on to.
 """
 
 import json
@@ -41,14 +59,23 @@ from repro._units import CACHELINE, KIB
 
 #: Relative ops/s loss versus the baseline that fails ``--compare``.
 REGRESSION_TOLERANCE = 0.20
+#: Relative ops/s loss that is reported (without failing) by default.
+WARN_TOLERANCE = 0.10
 
 
 def _timed(fn):
-    """Run ``fn`` once; returns (wall_s, sim_ops) from its return."""
+    """Run ``fn`` once; returns (wall_s, sim_ops).
+
+    A benchmark either returns ``sim_ops`` (the whole call is timed)
+    or ``(sim_ops, wall_s)`` with the wall time of just the section
+    those ops cover, measured inside.
+    """
     started = time.perf_counter()
-    sim_ops = fn()
+    ret = fn()
     wall = time.perf_counter() - started
-    return wall, sim_ops
+    if isinstance(ret, tuple):
+        return ret[1], ret[0]
+    return wall, ret
 
 
 def bench_idle_latency(quick=False):
@@ -89,33 +116,47 @@ def bench_sweep_quick(quick=False):
 
 
 def bench_serve_closed(quick=False):
-    """Closed-loop YCSB-A on the LSM store: the serving stack."""
+    """Closed-loop YCSB-A on the LSM store: the serving stack.
+
+    Times the serve loop only (``sim_ops`` counts served requests, so
+    machine construction and preload are excluded from the wall time).
+    """
     from repro.sim.platform import Machine
     from repro.workloads import closed_loop, get_workload, make_service
+    from repro.workloads.loadloop import preload
     records = 192 if quick else 512
-    ops = 480 if quick else 4096
+    ops = 2048 if quick else 4096
     spec = get_workload("ycsb-a")
     machine = Machine()
     service = make_service("lsm", machine, spec, records=records,
                            ops=ops, seed=0)
+    load_end = preload(service, machine, spec, records, seed=0)
+    started = time.perf_counter()
     report = closed_loop(machine, service, spec, records=records,
-                         ops=ops, clients=4, seed=0)
-    return report["ops"]
+                         ops=ops, clients=4, seed=0, load_end=load_end)
+    return report["ops"], time.perf_counter() - started
 
 
 def bench_serve_open(quick=False):
-    """Open-loop YCSB-C on PMemKV: arrival dispatch near the knee."""
+    """Open-loop YCSB-C on PMemKV: arrival dispatch near the knee.
+
+    Times the serve loop only, like ``bench_serve_closed``.
+    """
     from repro.sim.platform import Machine
     from repro.workloads import get_workload, make_service, open_loop
+    from repro.workloads.loadloop import preload
     records = 192 if quick else 512
-    ops = 480 if quick else 4096
+    ops = 2048 if quick else 4096
     spec = get_workload("ycsb-c")
     machine = Machine()
     service = make_service("pmemkv", machine, spec, records=records,
                            ops=ops, seed=0)
+    load_end = preload(service, machine, spec, records, seed=0)
+    started = time.perf_counter()
     report = open_loop(machine, service, spec, records=records,
-                       ops=ops, rate_kops=8000.0, workers=4, seed=0)
-    return report["ops"]
+                       ops=ops, rate_kops=8000.0, workers=4, seed=0,
+                       load_end=load_end)
+    return report["ops"], time.perf_counter() - started
 
 
 def bench_serve_chaos(quick=False):
@@ -142,21 +183,28 @@ def bench_pmcheck_overhead(quick=False):
     The delta against ``serve_closed`` is the whole checking tax: the
     fused fast path disabled (composed per-line stores/flushes) plus
     the checker's per-line state machine and ack-window bookkeeping.
+    Like ``serve_closed``, only the serve loop is timed (the preload
+    still runs with the checker installed, so checker state at serve
+    start is unchanged).
     """
     from repro.pmcheck import PmCheck
     from repro.sim.platform import Machine
     from repro.workloads import closed_loop, get_workload, make_service
+    from repro.workloads.loadloop import preload
     records = 192 if quick else 512
-    ops = 480 if quick else 4096
+    ops = 2048 if quick else 4096
     spec = get_workload("ycsb-a")
     machine = Machine()
     checker = PmCheck(machine).install()
     service = make_service("lsm", machine, spec, records=records,
                            ops=ops, seed=0)
+    load_end = preload(service, machine, spec, records, seed=0)
+    started = time.perf_counter()
     report = closed_loop(machine, service, spec, records=records,
-                         ops=ops, clients=4, seed=0)
+                         ops=ops, clients=4, seed=0, load_end=load_end)
+    wall = time.perf_counter() - started
     checker.uninstall()
-    return report["ops"]
+    return report["ops"], wall
 
 
 BENCHMARKS = (
@@ -171,17 +219,26 @@ BENCHMARKS = (
 )
 
 
-def run_benchmarks(quick=False, progress=None):
+def run_benchmarks(quick=False, progress=None, repeats=3):
     """Run every benchmark; returns ``{name: {wall_s, sim_ops, ops_per_s}}``.
 
-    Each benchmark starts from a clean slate — the same-simulation
-    point memo is cleared so one benchmark cannot pre-warm another.
+    Each benchmark gets an untimed quick warm-up first, then runs
+    ``repeats`` times and keeps the **minimum** wall time — the
+    standard noise-floor estimate; everything above the minimum is
+    scheduler/other-tenant interference, not the benchmark.  The
+    same-simulation point memo is cleared before every timed run, so
+    neither the warm-up nor an earlier repeat can seed it.
     """
     from repro.lattester.bandwidth import clear_point_memo
     results = {}
     for name, fn in BENCHMARKS:
-        clear_point_memo()
-        wall, sim_ops = _timed(lambda: fn(quick=quick))
+        fn(quick=True)          # warm imports and code paths, untimed
+        wall = sim_ops = None
+        for _ in range(max(1, repeats)):
+            clear_point_memo()  # warm-ups/repeats must not seed the memo
+            run_wall, run_ops = _timed(lambda: fn(quick=quick))
+            if wall is None or run_wall < wall:
+                wall, sim_ops = run_wall, run_ops
         results[name] = {
             "wall_s": round(wall, 4),
             "sim_ops": sim_ops,
@@ -212,30 +269,115 @@ def compare(baseline, current, tolerance=REGRESSION_TOLERANCE):
     return regressions
 
 
+def delta_report(baseline, current):
+    """Per-benchmark ops/s deltas; returns ``(lines, worst_loss)``.
+
+    Every name either side knows gets a line — additions and removals
+    use the harness comparator's convention — and ``worst_loss`` is
+    the largest relative throughput loss (0.0 when nothing regressed),
+    so the caller can hold it against whatever tolerance it enforces.
+    """
+    lines = []
+    worst_loss = 0.0
+    for name in sorted(set(baseline) | set(current)):
+        old = baseline.get(name)
+        new = current.get(name)
+        if new is None:
+            lines.append("  REMOVED %s (metric absent in candidate)" % name)
+            continue
+        if old is None:
+            lines.append("  NEW     %s (metric absent in baseline)" % name)
+            continue
+        old_rate = old.get("ops_per_s", 0.0)
+        new_rate = new.get("ops_per_s", 0.0)
+        if old_rate > 0:
+            delta = (new_rate - old_rate) / old_rate
+            lines.append("  %-16s %12.0f -> %12.0f ops/s  (%+.1f%%)"
+                         % (name, old_rate, new_rate, 100.0 * delta))
+            if -delta > worst_loss:
+                worst_loss = -delta
+        else:
+            lines.append("  %-16s %12.0f -> %12.0f ops/s"
+                         % (name, old_rate, new_rate))
+    return lines, worst_loss
+
+
+def profile_benchmark(name, quick=False, out=None):
+    """cProfile one benchmark; returns the pstats dump path.
+
+    The benchmark is warmed exactly like a timed run (quick warm-up,
+    then the point memo is cleared), so the profile shows steady-state
+    hot paths rather than import machinery.  The raw stats land in
+    ``out`` (default ``bench_profile_<name>.pstats``) for ``snakeviz``
+    or ``pstats`` digging, and the top 25 functions by cumulative time
+    are printed.
+    """
+    import cProfile
+    import pstats
+
+    from repro.lattester.bandwidth import clear_point_memo
+    table = dict(BENCHMARKS)
+    if name not in table:
+        raise SystemExit("unknown benchmark %r (choose from: %s)"
+                         % (name, ", ".join(n for n, _ in BENCHMARKS)))
+    fn = table[name]
+    fn(quick=True)
+    clear_point_memo()
+    if out is None:
+        out = "bench_profile_%s.pstats" % name
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn(quick=quick)
+    profiler.disable()
+    profiler.dump_stats(out)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(25)
+    print("wrote %s" % out)
+    return out
+
+
 def main(args):
     """Entry point for ``python -m repro bench``."""
+    if getattr(args, "profile", None):
+        profile_benchmark(args.profile, quick=args.quick,
+                          out=getattr(args, "profile_out", None))
+        return 0
+
     def progress(name, row):
         print("  %-14s %8.3f s   %10d ops   %12.0f ops/s"
               % (name, row["wall_s"], row["sim_ops"], row["ops_per_s"]))
 
     print("benchmarking simulator hot paths%s ..."
           % (" (quick)" if args.quick else ""))
-    results = run_benchmarks(quick=args.quick, progress=progress)
+    repeats = getattr(args, "repeats", None) or (5 if args.quick else 3)
+    results = run_benchmarks(quick=args.quick, progress=progress,
+                             repeats=repeats)
     with open(args.out, "w") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print("wrote %s" % args.out)
     if args.compare is None:
         return 0
+    warn_tol = getattr(args, "warn_tolerance", None)
+    fail_tol = getattr(args, "fail_tolerance", None)
+    if warn_tol is None:
+        warn_tol = WARN_TOLERANCE
+    if fail_tol is None:
+        fail_tol = REGRESSION_TOLERANCE
     with open(args.compare) as fh:
         baseline = json.load(fh)
-    regressions = compare(baseline, results)
-    if not regressions:
-        print("no benchmark regressed more than %d%% vs %s"
-              % (int(REGRESSION_TOLERANCE * 100), args.compare))
+    print("delta vs %s:" % args.compare)
+    lines, worst_loss = delta_report(baseline, results)
+    for line in lines:
+        print(line)
+    if worst_loss > fail_tol:
+        print("FAIL: worst loss %.1f%% exceeds fail tolerance %d%%"
+              % (100.0 * worst_loss, int(fail_tol * 100)))
+        return 1
+    if worst_loss > warn_tol:
+        print("WARN: worst loss %.1f%% exceeds warn tolerance %d%%"
+              % (100.0 * worst_loss, int(warn_tol * 100)))
         return 0
-    for name, old_rate, new_rate in regressions:
-        print("REGRESSION: %s  %.0f -> %.0f ops/s (%.0f%%)"
-              % (name, old_rate, new_rate,
-                 100.0 * (new_rate - old_rate) / old_rate))
-    return 1
+    print("no benchmark regressed more than %d%% vs %s"
+          % (int(warn_tol * 100), args.compare))
+    return 0

@@ -39,6 +39,8 @@ property this matrix is probing.
 import heapq
 from random import Random
 
+from repro.sim import engine as _engine
+
 from repro.chaos_serve.degrade import (
     BROKEN, DEADLINE, FAILED, OK, SHED, CircuitBreaker, DegradeConfig,
     DegradeStats, RetryPolicy,
@@ -205,42 +207,45 @@ def _apply(env, thread, client, req):
     """
     service = env.service
     pmcheck = env.pmcheck
+    history = env.history
     key = make_key(req.key_index)
     op = req.op
     if op == "read":
         service.get(thread, key)
-    elif op == "scan":
+        return
+    if op == "scan":
         service.scan(thread, key, req.scan_len)
-    elif op == "update" or op == "insert":
-        mut = env.history.begin(client, PUT, req.key_index,
-                                req.version, thread.now)
+        return
+    if op == "update" or op == "insert":
+        mut = history.begin(client, PUT, req.key_index,
+                            req.version, thread.now)
         if pmcheck is not None:
             pmcheck.op_begin(thread, op)
         service.put(thread, key,
                     make_value(env.spec, req.key_index, req.version))
         if pmcheck is not None:
             pmcheck.op_ack(thread)
-        env.history.ack(mut, thread.now)
+        history.ack(mut, thread.now)
     elif op == "rmw":
         service.get(thread, key)
-        mut = env.history.begin(client, PUT, req.key_index,
-                                req.version, thread.now)
+        mut = history.begin(client, PUT, req.key_index,
+                            req.version, thread.now)
         if pmcheck is not None:
             pmcheck.op_begin(thread, op)
         service.put(thread, key,
                     make_value(env.spec, req.key_index, req.version))
         if pmcheck is not None:
             pmcheck.op_ack(thread)
-        env.history.ack(mut, thread.now)
+        history.ack(mut, thread.now)
     elif op == "delete":
-        mut = env.history.begin(client, DELETE, req.key_index, 0,
-                                thread.now)
+        mut = history.begin(client, DELETE, req.key_index, 0,
+                            thread.now)
         if pmcheck is not None:
             pmcheck.op_begin(thread, op)
         service.delete(thread, key)
         if pmcheck is not None:
             pmcheck.op_ack(thread)
-        env.history.ack(mut, thread.now)
+        history.ack(mut, thread.now)
     else:
         raise ValueError("unknown op %r" % op)
 
@@ -352,39 +357,87 @@ def _closed_serve(env):
                              client=c) for c in range(clients)]
     budgets = [env.ops // clients + (1 if c < env.ops % clients else 0)
                for c in range(clients)]
-    iters = [iter(streams[c].requests(budgets[c]))
-             for c in range(clients)]
     pending = [None] * clients
-    active = set(range(clients))
     triggers = _triggers(env.scenario, env.ops)
     dispatched = 0
     latencies = []
     ops_by_type = {}
     results = {}
-    while active:
-        c = min(active, key=lambda i: (threads[i].now, i))
-        thread = threads[c]
-        if pending[c] is not None:
-            req, pending[c] = pending[c], None
-        else:
-            req = next(iters[c], None)
-            if req is None:
-                active.discard(c)
+    if _engine.FASTPATH_ENABLED:
+        # Batched dispatch: each client's request sequence depends only
+        # on its own seeded RNG (never on machine state or the other
+        # clients), so the whole budget can be materialized up front —
+        # the interleaving below consumes it in the reference order.
+        # The min() over the active set becomes a strict-< scan of a
+        # live list kept in client order: lowest ``now`` wins, first
+        # occurrence (= lowest client id) on ties, exactly the
+        # reference's (now, id) key.
+        queues = [streams[c].next_requests(budgets[c])
+                  for c in range(clients)]
+        qpos = [0] * clients
+        triggers_pop = triggers.pop
+        live = list(range(clients))
+        while live:
+            c = live[0]
+            best_now = threads[c].now
+            for i in live[1:]:
+                now = threads[i].now
+                if now < best_now:
+                    c = i
+                    best_now = now
+            thread = threads[c]
+            if pending[c] is not None:
+                req, pending[c] = pending[c], None
+            else:
+                pos = qpos[c]
+                queue = queues[c]
+                if pos == len(queue):
+                    live.remove(c)
+                    continue
+                qpos[c] = pos + 1
+                req = queue[pos]
+                dispatched += 1
+                kind = triggers_pop(dispatched, None)
+                if kind is not None:
+                    _fire(env, kind, dispatched)
+            try:
+                disp, latency = _serve_one(env, thread, c, req)
+            except SimulatedPowerFailure:
+                _recover_and_audit(env, dispatched)
+                pending[c] = req      # the client retries the request
                 continue
-            dispatched += 1
-            kind = triggers.pop(dispatched, None)
-            if kind is not None:
-                _fire(env, kind, dispatched)
-        try:
-            disp, latency = _serve_one(env, thread, c, req)
-        except SimulatedPowerFailure:
-            _recover_and_audit(env, dispatched)
-            pending[c] = req          # the client retries the request
-            continue
-        results[disp] = results.get(disp, 0) + 1
-        if disp == OK:
-            ops_by_type[req.op] = ops_by_type.get(req.op, 0) + 1
-            latencies.append(latency)
+            results[disp] = results.get(disp, 0) + 1
+            if disp == OK:
+                ops_by_type[req.op] = ops_by_type.get(req.op, 0) + 1
+                latencies.append(latency)
+    else:
+        iters = [iter(streams[c].requests(budgets[c]))
+                 for c in range(clients)]
+        active = set(range(clients))
+        while active:
+            c = min(active, key=lambda i: (threads[i].now, i))
+            thread = threads[c]
+            if pending[c] is not None:
+                req, pending[c] = pending[c], None
+            else:
+                req = next(iters[c], None)
+                if req is None:
+                    active.discard(c)
+                    continue
+                dispatched += 1
+                kind = triggers.pop(dispatched, None)
+                if kind is not None:
+                    _fire(env, kind, dispatched)
+            try:
+                disp, latency = _serve_one(env, thread, c, req)
+            except SimulatedPowerFailure:
+                _recover_and_audit(env, dispatched)
+                pending[c] = req      # the client retries the request
+                continue
+            results[disp] = results.get(disp, 0) + 1
+            if disp == OK:
+                ops_by_type[req.op] = ops_by_type.get(req.op, 0) + 1
+                latencies.append(latency)
     end_ns = max(t.now for t in threads)
     report = _summarize(latencies, ops_by_type, start_ns, end_ns,
                         len(latencies))
@@ -417,42 +470,101 @@ def _open_serve(env):
     latencies = []
     ops_by_type = {}
     results = {}
-    for i in range(1, env.ops + 1):
-        clock += arrival_rng.expovariate(1.0 / mean_gap_ns)
-        kind = triggers.pop(i, None)
-        if kind is not None:
-            _fire(env, kind, i)
-        while inflight and inflight[0] <= clock:
-            heapq.heappop(inflight)
-        if cfg.enabled and cfg.max_inflight \
-                and len(inflight) >= cfg.max_inflight:
-            env.stats.shed += 1
-            results[SHED] = results.get(SHED, 0) + 1
-            env.chaos_instant("degrade.shed", {"at_op": i})
-            continue
-        wi, worker = min(enumerate(threads),
-                         key=lambda p: (p[1].now, p[1].tid))
-        wait = max(0.0, worker.now - clock)
-        if cfg.enabled and wait > cfg.deadline_ns:
-            # The client gave up in the queue before dispatch.
-            env.stats.deadline_misses += 1
-            results[DEADLINE] = results.get(DEADLINE, 0) + 1
-            continue
-        req = next(streams[wi].requests(1))
-        if worker.now < clock:
-            worker.now = clock
-        while True:
-            try:
-                disp, latency = _serve_one(env, worker, wi, req,
-                                           arrival_ns=clock)
-                break
-            except SimulatedPowerFailure:
-                _recover_and_audit(env, i)
-        results[disp] = results.get(disp, 0) + 1
-        if disp == OK:
-            ops_by_type[req.op] = ops_by_type.get(req.op, 0) + 1
-            latencies.append(latency)
-        heapq.heappush(inflight, worker.now)
+    if _engine.FASTPATH_ENABLED:
+        # Hoisted dispatch loop: per-arrival work drops the lambda-key
+        # min() (threads are scanned strict-< in tid order, which is
+        # the same (now, tid) order) and the throwaway one-request
+        # generator (``next_request`` is the single-step equivalent).
+        # The degrade config and the arrival-rate inverse are
+        # loop-invariant; ``1.0 / mean_gap_ns`` is computed once, the
+        # identical float the reference recomputes per arrival.
+        expovariate = arrival_rng.expovariate
+        inv_gap = 1.0 / mean_gap_ns
+        triggers_pop = triggers.pop
+        heappop, heappush = heapq.heappop, heapq.heappush
+        cfg_enabled = cfg.enabled
+        max_inflight = cfg.max_inflight
+        deadline_ns = cfg.deadline_ns
+        stats = env.stats
+        for i in range(1, env.ops + 1):
+            clock += expovariate(inv_gap)
+            kind = triggers_pop(i, None)
+            if kind is not None:
+                _fire(env, kind, i)
+            while inflight and inflight[0] <= clock:
+                heappop(inflight)
+            if cfg_enabled and max_inflight \
+                    and len(inflight) >= max_inflight:
+                stats.shed += 1
+                results[SHED] = results.get(SHED, 0) + 1
+                env.chaos_instant("degrade.shed", {"at_op": i})
+                continue
+            wi = 0
+            worker = threads[0]
+            best_now = worker.now
+            for j, t in enumerate(threads):
+                now = t.now
+                if now < best_now:
+                    wi = j
+                    worker = t
+                    best_now = now
+            if cfg_enabled and best_now - clock > deadline_ns:
+                # The client gave up in the queue before dispatch.
+                stats.deadline_misses += 1
+                results[DEADLINE] = results.get(DEADLINE, 0) + 1
+                continue
+            req = streams[wi].next_request()
+            if worker.now < clock:
+                worker.now = clock
+            while True:
+                try:
+                    disp, latency = _serve_one(env, worker, wi, req,
+                                               arrival_ns=clock)
+                    break
+                except SimulatedPowerFailure:
+                    _recover_and_audit(env, i)
+            results[disp] = results.get(disp, 0) + 1
+            if disp == OK:
+                ops_by_type[req.op] = ops_by_type.get(req.op, 0) + 1
+                latencies.append(latency)
+            heappush(inflight, worker.now)
+    else:
+        for i in range(1, env.ops + 1):
+            clock += arrival_rng.expovariate(1.0 / mean_gap_ns)
+            kind = triggers.pop(i, None)
+            if kind is not None:
+                _fire(env, kind, i)
+            while inflight and inflight[0] <= clock:
+                heapq.heappop(inflight)
+            if cfg.enabled and cfg.max_inflight \
+                    and len(inflight) >= cfg.max_inflight:
+                env.stats.shed += 1
+                results[SHED] = results.get(SHED, 0) + 1
+                env.chaos_instant("degrade.shed", {"at_op": i})
+                continue
+            wi, worker = min(enumerate(threads),
+                             key=lambda p: (p[1].now, p[1].tid))
+            wait = max(0.0, worker.now - clock)
+            if cfg.enabled and wait > cfg.deadline_ns:
+                # The client gave up in the queue before dispatch.
+                env.stats.deadline_misses += 1
+                results[DEADLINE] = results.get(DEADLINE, 0) + 1
+                continue
+            req = next(streams[wi].requests(1))
+            if worker.now < clock:
+                worker.now = clock
+            while True:
+                try:
+                    disp, latency = _serve_one(env, worker, wi, req,
+                                               arrival_ns=clock)
+                    break
+                except SimulatedPowerFailure:
+                    _recover_and_audit(env, i)
+            results[disp] = results.get(disp, 0) + 1
+            if disp == OK:
+                ops_by_type[req.op] = ops_by_type.get(req.op, 0) + 1
+                latencies.append(latency)
+            heapq.heappush(inflight, worker.now)
     end_ns = max(t.now for t in threads)
     report = _summarize(latencies, ops_by_type, start_ns, end_ns,
                         len(latencies))

@@ -6,6 +6,7 @@ allocation, charged to the simulated thread as compute time.
 """
 
 from repro.kvstore.skiplist import SkipList
+from repro.sim import engine as _engine
 
 _COMPARE_NS = 12.0
 _ALLOC_NS = 60.0
@@ -27,8 +28,17 @@ class VolatileMemtable:
 
     def put(self, thread, key, value):
         vlen = len(value) if value is not None else 0
-        steps = self._sl.seek_steps(key)
         copy = (len(key) + vlen) * _COPY_NS_PER_BYTE
+        if _engine.FASTPATH_ENABLED:
+            # Fused: one traversal both counts seek steps (timing) and
+            # finds the insert point.  Sleep and structure mutation
+            # happen in the reference order, so clocks and the seeded
+            # height draws are identical.
+            steps, preds = self._sl.seek_preds(key)
+            thread.sleep(steps * _COMPARE_NS + _ALLOC_NS + copy)
+            self._sl.put_at(preds, key, value)
+            return
+        steps = self._sl.seek_steps(key)
         thread.sleep(steps * _COMPARE_NS + _ALLOC_NS + copy)
         self._sl.put(key, value)
 
@@ -41,6 +51,10 @@ class VolatileMemtable:
 
     def lookup(self, thread, key):
         """Timed lookup distinguishing absent from tombstoned."""
+        if _engine.FASTPATH_ENABLED:
+            steps, found, value = self._sl.seek_lookup(key)
+            thread.sleep(steps * _COMPARE_NS)
+            return found, value
         steps = self._sl.seek_steps(key)
         thread.sleep(steps * _COMPARE_NS)
         return self._sl.lookup(key)

@@ -62,8 +62,18 @@ class SkipList:
         ``value=None`` stores a tombstone (LSM deletes), which ``get``
         and ``items`` faithfully return as None.
         """
+        return self.put_at(self._find_predecessors(key), key, value)
+
+    def put_at(self, preds, key, value):
+        """:meth:`put` with the predecessors already located.
+
+        The fused memtable path finds predecessors while counting seek
+        steps for timing, then inserts through here — one traversal
+        instead of two.  ``preds`` must come from
+        :meth:`_find_predecessors`/:meth:`seek_preds` for this exact
+        ``key`` with no intervening mutation.
+        """
         vlen = len(value) if value is not None else 0
-        preds = self._find_predecessors(key)
         candidate = preds[0].nexts[0]
         if candidate is not None and candidate.key == key:
             old_vlen = len(candidate.value) \
@@ -122,3 +132,39 @@ class SkipList:
                 steps += 1
             steps += 1
         return steps
+
+    def seek_preds(self, key):
+        """One walk returning ``(seek_steps, predecessors)``.
+
+        The walk is exactly :meth:`seek_steps`'s, recording the
+        per-level predecessors :meth:`put_at` needs — step count and
+        resulting structure match the two-walk composition.
+        """
+        preds = [self._head] * MAX_LEVEL
+        steps = 0
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.nexts[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.nexts[lvl]
+                steps += 1
+            steps += 1
+            preds[lvl] = node
+        return steps, preds
+
+    def seek_lookup(self, key):
+        """One walk returning ``(seek_steps, found, value)``."""
+        steps = 0
+        node = self._head
+        for lvl in range(self._level - 1, -1, -1):
+            nxt = node.nexts[lvl]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.nexts[lvl]
+                steps += 1
+            steps += 1
+        candidate = node.nexts[0]
+        if candidate is not None and candidate.key == key:
+            return steps, True, candidate.value
+        return steps, False, None

@@ -32,20 +32,35 @@ def _shorten(filename):
     return os.path.basename(filename)
 
 
+#: code object -> False (simulator frame, skip) or "file:func" prefix.
+#: ``call_site`` runs on *every* checked store; the substring scan and
+#: the path shortening depend only on the code object, so they are paid
+#: once per function instead of once per store.  Only the line number
+#: varies call to call.
+_code_memo = {}
+
+
 def call_site(skip=2):
     """The first stack frame outside the simulator/checker, as a tag.
 
     ``skip`` frames at the top (``call_site`` itself plus its caller
     inside the checker) are always ignored.
     """
+    memo = _code_memo
     frame = sys._getframe(skip)
     while frame is not None:
-        filename = frame.f_code.co_filename
-        for part in _SKIP_PARTS:
-            if part in filename:
-                break
-        else:
-            return "%s:%s:%d" % (_shorten(filename),
-                                 frame.f_code.co_name, frame.f_lineno)
+        code = frame.f_code
+        prefix = memo.get(code)
+        if prefix is None:
+            filename = code.co_filename
+            for part in _SKIP_PARTS:
+                if part in filename:
+                    prefix = False
+                    break
+            else:
+                prefix = "%s:%s" % (_shorten(filename), code.co_name)
+            memo[code] = prefix
+        if prefix is not False:
+            return "%s:%d" % (prefix, frame.f_lineno)
         frame = frame.f_back
     return "<toplevel>"

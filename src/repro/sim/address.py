@@ -43,6 +43,16 @@ class DataStore:
 
     def write(self, addr, data):
         """Write ``data`` into the volatile view at ``addr``."""
+        page, off = divmod(addr, _PAGE)
+        end = off + len(data)
+        if end <= _PAGE:
+            # Single-page write (every record/value/header in the KV
+            # substrates): no generator, one slice assignment.
+            buf = self._volatile.get(page)
+            if buf is None:
+                buf = self._volatile[page] = bytearray(_PAGE)
+            buf[off:end] = data
+            return
         pos = 0
         for page, off, chunk in self._split(addr, len(data)):
             self._page(self._volatile, page)[off:off + chunk] = \
@@ -51,6 +61,13 @@ class DataStore:
 
     def read(self, addr, size):
         """Read ``size`` bytes from the volatile view."""
+        page, off = divmod(addr, _PAGE)
+        end = off + size
+        if end <= _PAGE:
+            buf = self._volatile.get(page)
+            if buf is None:
+                return bytes(size)
+            return bytes(buf[off:end])
         out = bytearray(size)
         pos = 0
         for page, off, chunk in self._split(addr, size):
@@ -64,15 +81,13 @@ class DataStore:
 
     def persist_line(self, line_addr):
         """Copy one cache line from the volatile to the persistent view."""
-        addr = line_addr - (line_addr % CACHELINE)
-        page, off = divmod(addr, _PAGE)
+        page, off = divmod(line_addr - (line_addr % CACHELINE), _PAGE)
         src = self._volatile.get(page)
         if src is None:
             return
         dst = self._persistent.get(page)
         if dst is None:
-            dst = bytearray(_PAGE)
-            self._persistent[page] = dst
+            dst = self._persistent[page] = bytearray(_PAGE)
         dst[off:off + CACHELINE] = src[off:off + CACHELINE]
 
     def persist_range(self, addr, size):
@@ -97,6 +112,13 @@ class DataStore:
 
     def read_persistent(self, addr, size):
         """Read ``size`` bytes from the persistent (post-crash) view."""
+        page, off = divmod(addr, _PAGE)
+        end = off + size
+        if end <= _PAGE:
+            buf = self._persistent.get(page)
+            if buf is None:
+                return bytes(size)
+            return bytes(buf[off:end])
         out = bytearray(size)
         pos = 0
         for page, off, chunk in self._split(addr, size):

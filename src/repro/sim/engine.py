@@ -483,3 +483,45 @@ def run_workloads(pairs):
         return sched.run()
     finally:
         sched.reset()
+
+
+def run_interleaved(entries):
+    """Serving fast path: step bounded per-thread loops in clock order.
+
+    ``entries`` is ``[(thread, budget, step), ...]`` in spawn order;
+    each ``step()`` call performs exactly one unit of work (one served
+    request) on its thread.  Steps are executed in strictly increasing
+    ``(thread.now, spawn index)`` order — the same total order the
+    generator-based :class:`Scheduler` produces, because its heap (and
+    run-ahead) always resumes the minimum-key workload and a serve
+    client yields once per request.  This trades the heap and generator
+    machinery for a direct scan over the (few) live clients, and
+    extends the single-live-workload bypass to the serving common case:
+    once one client remains, its loop drains with no ordering work at
+    all.
+
+    Returns the largest finishing thread clock, like
+    :func:`run_workloads`.  Exhausted budgets drop out; a zero budget
+    never steps (the scheduler equivalent is a generator that raises
+    StopIteration on first resume, which performs no simulated work).
+    """
+    threads = [e[0] for e in entries]
+    live = [[thread, budget, step] for thread, budget, step in entries
+            if budget > 0]
+    while len(live) > 1:
+        best = live[0]
+        best_now = best[0].now
+        for entry in live[1:]:
+            now = entry[0].now
+            if now < best_now:
+                best = entry
+                best_now = now
+        best[2]()
+        best[1] -= 1
+        if best[1] == 0:
+            live.remove(best)
+    if live:
+        _thread, budget, step = live[0]
+        for _ in range(budget):
+            step()
+    return max((t.now for t in threads), default=0.0)

@@ -119,9 +119,121 @@ class Namespace:
         """Issue loads covering ``[addr, addr+size)``; returns last completion."""
         if not addr % CACHELINE and 0 < size <= CACHELINE:
             return self._load_line(thread, addr)
+        if self._plain and _engine.FASTPATH_ENABLED:
+            return self._load_lines_fused(thread,
+                                          line_addresses(addr, size))
         completion = thread.now
         for line in line_addresses(addr, size):
             completion = self._load_line(thread, line)
+        return completion
+
+    def _load_lines_fused(self, thread, lines):
+        """Multi-line load with the loop invariants hoisted.
+
+        The loop body is :meth:`_load_line` statement for statement —
+        same state mutations in the same order, so timing, counters and
+        shared-resource bookings are byte-identical — with the cache,
+        config and routing lookups that cannot change between the lines
+        of one call lifted out.  Only runs when ``_plain`` (no tracer,
+        no checker, no subclass overrides); fault hooks do not observe
+        loads, so fault injection does not force the composed path.
+        """
+        cfg = self._cache_cfg
+        issue_ns = cfg.issue_ns
+        hit_ns = cfg.hit_ns
+        cache = self._caches[thread.socket]
+        sets = cache._sets
+        nsets = cache._nsets
+        ways = cache._ways
+        ns_id = self.ns_id
+        ns_salt = ns_id * 40503
+        loads = thread._loads
+        load_window = thread.load_window
+        machine = self.machine
+        remote = thread.socket != self.socket
+        upi = machine.upi
+        is_optane = self.is_optane
+        tid = thread.tid
+        only = self._only_dev
+        if only is not None:
+            rlink, _w, ccfg, dimm = only
+            occ_r = ccfg.read_occ_ns
+            dimm_read = dimm.read
+        else:
+            block_bytes = self._block_bytes
+            ndimms = self._ndimms
+            dev = self._dev
+        latencies = thread.latencies
+        completion = thread.now
+        for line in lines:
+            issued = thread.now + issue_ns
+            thread.now = issued
+            key = (ns_id, line)
+            h = ((line >> 6) * _HASH_MULT + ns_salt) & 0xFFFFFFFF
+            h ^= h >> 16                         # cache.probe, inlined
+            h = (h * _HASH_MIX) & 0xFFFFFFFF
+            index = (h ^ (h >> 13)) % nsets
+            table = sets.get(index)
+            if table is None:
+                table = sets[index] = {}
+            entry = table.get(key)
+            if entry is not None:
+                stamp = cache._stamp + 1
+                cache._stamp = stamp
+                entry[0] = stamp
+                cache.hits += 1
+                completion = issued + hit_ns
+                thread.now = completion
+                thread.bytes_read += CACHELINE
+                if latencies is not None:
+                    latencies.append(completion - issued)
+                continue
+            cache.misses += 1
+            if len(loads) >= load_window:        # admit_load, inlined
+                done = loads.popleft()
+                if done > thread.now:
+                    thread.now = done
+            start = thread.now
+            if remote:
+                start = upi.read_transfer(start, source=tid,
+                                          heavy=is_optane)
+            if only is None:
+                block, offset = divmod(line, block_bytes)
+                sub, di = divmod(block, ndimms)
+                rlink, _w, ccfg, dimm = dev[di]
+                dev_addr = sub * block_bytes + offset
+                occ_r = ccfg.read_occ_ns
+                dimm_read = dimm.read
+            else:
+                dev_addr = line
+            if rlink._gap_start:
+                _s, ch_end = rlink.acquire(start, occ_r)
+            else:
+                # Gap list empty: tail booking only (acquire, inlined).
+                rlink.busy_ns += occ_r
+                tail = rlink._tail
+                rstart = tail if tail > start else start
+                if rstart - tail > 1e-9:
+                    rlink._gap_start.append(tail)
+                    rlink._gap_end.append(rstart)
+                ch_end = rstart + occ_r
+                rlink._tail = ch_end
+            data_ready = dimm_read(ch_end, dev_addr)
+            if remote:
+                data_ready += upi.read_extra_ns
+            if len(table) >= ways:
+                victim = cache.fill_in(table, key, ready_ns=data_ready)
+                if victim is not None and victim[1]:
+                    machine._evict_writeback(victim[0], thread.now)
+            else:
+                stamp = cache._stamp + 1         # fill_in sans victim,
+                cache._stamp = stamp             # inlined
+                table[key] = [stamp, False, data_ready]
+            loads.append(data_ready)             # track_load, inlined
+            thread.bytes_read += CACHELINE
+            if latencies is not None:
+                latencies.append(data_ready - issued)
+            completion = data_ready
         return completion
 
     def _load_line(self, thread, line):
@@ -222,8 +334,103 @@ class Namespace:
         if not addr % CACHELINE and 0 < size <= CACHELINE:
             self._store_line(thread, addr)
             return
+        if self._plain and _engine.FASTPATH_ENABLED:
+            self._store_lines_fused(thread, line_addresses(addr, size))
+            return
         for line in line_addresses(addr, size):
             self._store_line(thread, line)
+
+    def _store_lines_fused(self, thread, lines):
+        """Multi-line cached store with the loop invariants hoisted.
+
+        Statement-for-statement :meth:`_store_line` per line (the
+        pmcheck hook is vacuously absent — ``_plain`` implies no
+        checker), so hit/miss counters, RFO fills, evictions and the
+        thread clock advance identically.
+        """
+        issue_ns = self._cache_cfg.issue_ns
+        cache = self._caches[thread.socket]
+        sets = cache._sets
+        nsets = cache._nsets
+        ways = cache._ways
+        ns_id = self.ns_id
+        ns_salt = ns_id * 40503
+        loads = thread._loads
+        load_window = thread.load_window
+        machine = self.machine
+        remote = thread.socket != self.socket
+        upi = machine.upi
+        is_optane = self.is_optane
+        tid = thread.tid
+        only = self._only_dev
+        if only is not None:
+            rlink, _w, ccfg, dimm = only
+            occ_r = ccfg.read_occ_ns
+            dimm_read = dimm.read
+        else:
+            block_bytes = self._block_bytes
+            ndimms = self._ndimms
+            dev = self._dev
+        for line in lines:
+            thread.now += issue_ns
+            key = (ns_id, line)
+            h = ((line >> 6) * _HASH_MULT + ns_salt) & 0xFFFFFFFF
+            h ^= h >> 16                    # cache.store_probe, inlined
+            h = (h * _HASH_MIX) & 0xFFFFFFFF
+            index = (h ^ (h >> 13)) % nsets
+            table = sets.get(index)
+            if table is None:
+                table = sets[index] = {}
+            entry = table.get(key)
+            if entry is not None:
+                stamp = cache._stamp + 1
+                cache._stamp = stamp
+                entry[0] = stamp
+                entry[1] = True
+                continue
+            # Write-allocate: fetch the line before modifying it (RFO).
+            if len(loads) >= load_window:        # admit_load, inlined
+                done = loads.popleft()
+                if done > thread.now:
+                    thread.now = done
+            start = thread.now
+            if remote:
+                start = upi.read_transfer(start, source=tid,
+                                          heavy=is_optane)
+            if only is None:
+                block, offset = divmod(line, block_bytes)
+                sub, di = divmod(block, ndimms)
+                rlink, _w, ccfg, dimm = dev[di]
+                dev_addr = sub * block_bytes + offset
+                occ_r = ccfg.read_occ_ns
+                dimm_read = dimm.read
+            else:
+                dev_addr = line
+            if rlink._gap_start:
+                _s, ch_end = rlink.acquire(start, occ_r)
+            else:
+                # Gap list empty: tail booking only (acquire, inlined).
+                rlink.busy_ns += occ_r
+                tail = rlink._tail
+                rstart = tail if tail > start else start
+                if rstart - tail > 1e-9:
+                    rlink._gap_start.append(tail)
+                    rlink._gap_end.append(rstart)
+                ch_end = rstart + occ_r
+                rlink._tail = ch_end
+            data_ready = dimm_read(ch_end, dev_addr)
+            if remote:
+                data_ready += upi.read_extra_ns
+            if len(table) >= ways:
+                victim = cache.fill_in(table, key, dirty=True,
+                                       ready_ns=data_ready)
+                if victim is not None and victim[1]:
+                    machine._evict_writeback(victim[0], thread.now)
+            else:
+                stamp = cache._stamp + 1         # fill_in sans victim,
+                cache._stamp = stamp             # inlined
+                table[key] = [stamp, True, data_ready]
+            loads.append(data_ready)             # track_load, inlined
 
     def _store_line(self, thread, line):
         pmcheck = self.machine.pmcheck
@@ -332,15 +539,18 @@ class Namespace:
                              not_before=ready)
 
     def _flush(self, thread, addr, size, invalidate):
+        if not addr % CACHELINE and 0 < size <= CACHELINE:
+            lines = (addr,)
+        else:
+            lines = line_addresses(addr, size)
+        if self._plain and _engine.FASTPATH_ENABLED:
+            self._flush_lines_fused(thread, lines, invalidate)
+            return
         cache = self._caches[thread.socket]
         flush_issue_ns = self._cache_cfg.flush_issue_ns
         ns_id = self.ns_id
         send = self._send_store
         pmcheck = self.machine.pmcheck
-        if not addr % CACHELINE and 0 < size <= CACHELINE:
-            lines = (addr,)
-        else:
-            lines = line_addresses(addr, size)
         for line in lines:
             thread.now += flush_issue_ns
             key = (ns_id, line)
@@ -355,6 +565,111 @@ class Namespace:
                 send(thread, line, instr="clwb", ordered=True,
                      not_before=ready)
 
+    def _flush_lines_fused(self, thread, lines, invalidate):
+        """Multi-line flush with the write-back pipeline inlined.
+
+        Per line this performs exactly the composed
+        ``cache.ready_time``/``invalidate`` (or ``clean_ready``) and —
+        for dirty lines — the full :meth:`_send_store` clwb body, on
+        the same state in the same order.  The cache hash is computed
+        once per line and shared by the ready-time read and the
+        invalidate/clean mutation, which is invisible to results (both
+        address the same entry).
+        """
+        flush_issue_ns = self._cache_cfg.flush_issue_ns
+        cache = self._caches[thread.socket]
+        sets = cache._sets
+        nsets = cache._nsets
+        ns_id = self.ns_id
+        ns_salt = ns_id * 40503
+        insert_lat = self._insert_clwb_ns
+        machine = self.machine
+        remote = thread.socket != self.socket
+        upi = machine.upi
+        is_optane = self.is_optane
+        tid = thread.tid
+        lead = insert_lat
+        if remote:
+            lead += upi.write_extra_ns
+        stores = thread._stores
+        store_window = thread.store_window
+        pending = thread.pending_persists
+        latencies = thread.latencies
+        only = self._only_dev
+        if only is not None:
+            _r, wlink, ccfg, dimm = only
+            occ = ccfg.writeback_occ_ns
+            free = wlink._free
+            ingest = dimm.ingest_write
+        else:
+            block_bytes = self._block_bytes
+            ndimms = self._ndimms
+            dev = self._dev
+        faults = machine.faults
+        data = self.data
+        hook = machine._persist_hook
+        for line in lines:
+            thread.now += flush_issue_ns
+            key = (ns_id, line)
+            h = ((line >> 6) * _HASH_MULT + ns_salt) & 0xFFFFFFFF
+            h ^= h >> 16                         # CacheModel._index
+            h = (h * _HASH_MIX) & 0xFFFFFFFF
+            table = sets.get((h ^ (h >> 13)) % nsets)
+            if invalidate:
+                # ready_time + invalidate, one lookup (same entry).
+                entry = table.pop(key, None) if table is not None \
+                    else None
+                if entry is None or not entry[1]:
+                    continue
+                ready = entry[2]
+            else:
+                # clean_ready, inlined.
+                entry = table.get(key) if table is not None else None
+                if entry is None or not entry[1]:
+                    continue
+                entry[1] = False
+                ready = entry[2]
+            # -- _send_store(instr="clwb", not_before=ready), inlined --
+            issued = thread.now
+            if len(stores) >= store_window:      # admit_store, inlined
+                done = stores.popleft()
+                if done - lead > thread.now:
+                    thread.now = done - lead
+            insert = max(thread.now + insert_lat, ready + insert_lat)
+            if remote:
+                insert = upi.write_transfer(
+                    thread.now, source=tid, heavy=is_optane) + insert_lat
+                insert += upi.write_extra_ns
+            pending.append(insert)
+            if latencies is not None:
+                latencies.append(insert - issued)
+            if only is None:
+                block, offset = divmod(line, block_bytes)
+                sub, di = divmod(block, ndimms)
+                _r, wlink, ccfg, dimm = dev[di]
+                dev_addr = sub * block_bytes + offset
+                occ = ccfg.writeback_occ_ns
+                free = wlink._free
+                ingest = dimm.ingest_write
+            else:
+                dev_addr = line
+            earliest = free[0]                   # single-server write
+            wstart = earliest if earliest > insert else insert
+            ch_end = wstart + occ                # link, inlined
+            free[0] = ch_end
+            wlink.busy_ns += occ
+            if ch_end > wlink._last_end:
+                wlink._last_end = ch_end
+            accept = ingest(ch_end, dev_addr)
+            stores.append(accept)                # track_store, inlined
+            thread.bytes_written += CACHELINE
+            if faults is not None:               # _persist_line, inlined
+                faults.before_persist(self, line)
+            if data._volatile:
+                data.persist_line(line)
+            if hook is not None:
+                hook()
+
     # -- non-temporal stores -------------------------------------------------------
 
     def ntstore(self, thread, addr, size=CACHELINE, data=None):
@@ -363,6 +678,10 @@ class Namespace:
             self.data.write(addr, data)
         if not addr % CACHELINE and 0 < size <= CACHELINE:
             self._ntstore_line(thread, addr)
+            return
+        if self._plain and _engine.FASTPATH_ENABLED:
+            self._ntstore_lines_fused(thread,
+                                      line_addresses(addr, size))
             return
         invalidate = self._caches[thread.socket].invalidate
         issue_ns = self._cache_cfg.issue_ns
@@ -375,6 +694,98 @@ class Namespace:
             thread.now += issue_ns
             invalidate((ns_id, line))
             send(thread, line, instr="nt", ordered=True)
+
+    def _ntstore_lines_fused(self, thread, lines):
+        """Multi-line non-temporal store, the whole pipeline inlined.
+
+        Per line this is exactly :meth:`_ntstore_line`'s fused body
+        (itself proven byte-identical to the composed
+        ``invalidate`` + ``_send_store`` pair), with the per-call
+        invariants — WPQ latency, window references, routing for
+        non-interleaved namespaces — hoisted out of the loop.  Fault
+        hooks and the crash-injection persist hook still run per line,
+        in order, so chaos scenarios interrupt at exactly the same
+        store as the composed path.
+        """
+        issue_ns = self._cache_cfg.issue_ns
+        cache = self._caches[thread.socket]
+        sets = cache._sets
+        nsets = cache._nsets
+        ns_id = self.ns_id
+        ns_salt = ns_id * 40503
+        insert_lat = self._insert_nt_ns
+        machine = self.machine
+        remote = thread.socket != self.socket
+        upi = machine.upi
+        is_optane = self.is_optane
+        tid = thread.tid
+        lead = insert_lat
+        if remote:
+            lead += upi.write_extra_ns
+        stores = thread._stores
+        store_window = thread.store_window
+        pending = thread.pending_persists
+        latencies = thread.latencies
+        only = self._only_dev
+        if only is not None:
+            _r, wlink, ccfg, dimm = only
+            occ = ccfg.ntstore_occ_ns
+            free = wlink._free
+            ingest = dimm.ingest_write
+        else:
+            block_bytes = self._block_bytes
+            ndimms = self._ndimms
+            dev = self._dev
+        faults = machine.faults
+        data = self.data
+        hook = machine._persist_hook
+        for line in lines:
+            thread.now += issue_ns
+            h = ((line >> 6) * _HASH_MULT + ns_salt) & 0xFFFFFFFF
+            h ^= h >> 16                         # cache.invalidate,
+            h = (h * _HASH_MIX) & 0xFFFFFFFF     # inlined (the dirty
+            table = sets.get((h ^ (h >> 13)) % nsets)    # flag is
+            if table is not None:                # unused here)
+                table.pop((ns_id, line), None)
+            issued = thread.now
+            if len(stores) >= store_window:      # admit_store, inlined
+                done = stores.popleft()
+                if done - lead > issued:
+                    thread.now = done - lead
+            insert = thread.now + insert_lat
+            if remote:
+                insert = upi.write_transfer(
+                    thread.now, source=tid, heavy=is_optane) + insert_lat
+                insert += upi.write_extra_ns
+            pending.append(insert)
+            if latencies is not None:
+                latencies.append(insert - issued)
+            if only is None:
+                block, offset = divmod(line, block_bytes)
+                sub, di = divmod(block, ndimms)
+                _r, wlink, ccfg, dimm = dev[di]
+                dev_addr = sub * block_bytes + offset
+                occ = ccfg.ntstore_occ_ns
+                free = wlink._free
+                ingest = dimm.ingest_write
+            else:
+                dev_addr = line
+            earliest = free[0]                   # single-server write
+            wstart = earliest if earliest > insert else insert
+            ch_end = wstart + occ                # link, inlined
+            free[0] = ch_end
+            wlink.busy_ns += occ
+            if ch_end > wlink._last_end:
+                wlink._last_end = ch_end
+            accept = ingest(ch_end, dev_addr)
+            stores.append(accept)                # track_store, inlined
+            thread.bytes_written += CACHELINE
+            if faults is not None:               # _persist_line, inlined
+                faults.before_persist(self, line)
+            if data._volatile:
+                data.persist_line(line)
+            if hook is not None:
+                hook()
 
     def _ntstore_line(self, thread, line):
         """One (line-aligned) non-temporal store; per-line kernel path.

@@ -38,12 +38,21 @@ _MASK64 = (1 << 64) - 1
 
 def fnv64(value):
     """FNV-1a over the 8 little-endian bytes of ``value`` (YCSB's
-    FNVhash64): the stable scramble used to spread zipfian ranks."""
-    h = _FNV_OFFSET
+    FNVhash64): the stable scramble used to spread zipfian ranks.
+
+    The eight rounds are unrolled: this runs once per zipfian key and
+    once per written value, so it is one of the hottest pure-Python
+    spots in the serving stack.
+    """
     v = value & _MASK64
-    for _ in range(8):
-        h = ((h ^ (v & 0xFF)) * _FNV_PRIME) & _MASK64
-        v >>= 8
+    h = ((_FNV_OFFSET ^ (v & 0xFF)) * _FNV_PRIME) & _MASK64
+    h = ((h ^ ((v >> 8) & 0xFF)) * _FNV_PRIME) & _MASK64
+    h = ((h ^ ((v >> 16) & 0xFF)) * _FNV_PRIME) & _MASK64
+    h = ((h ^ ((v >> 24) & 0xFF)) * _FNV_PRIME) & _MASK64
+    h = ((h ^ ((v >> 32) & 0xFF)) * _FNV_PRIME) & _MASK64
+    h = ((h ^ ((v >> 40) & 0xFF)) * _FNV_PRIME) & _MASK64
+    h = ((h ^ ((v >> 48) & 0xFF)) * _FNV_PRIME) & _MASK64
+    h = ((h ^ (v >> 56)) * _FNV_PRIME) & _MASK64
     return h
 
 
@@ -87,8 +96,12 @@ class ZipfianGenerator:
         self.rng = rng if rng is not None else Random(seed)
         self._zetan = zeta(items, theta)
         self._alpha = 1.0 / (1.0 - theta)
-        self._eta = ((1.0 - (2.0 / items) ** (1.0 - theta))
-                     / (1.0 - zeta(2, theta) / self._zetan))
+        # For items == 2 the denominator is exactly zero (zeta(2) is
+        # zetan) — but so is the numerator, and every draw resolves to
+        # rank 0 or 1 before eta is consulted, so any finite value do.
+        denom = 1.0 - zeta(2, theta) / self._zetan
+        self._eta = (0.0 if denom == 0.0 else
+                     (1.0 - (2.0 / items) ** (1.0 - theta)) / denom)
 
     def next(self):
         u = self.rng.random()
@@ -101,17 +114,63 @@ class ZipfianGenerator:
                    ** self._alpha)
         return min(rank, self.items - 1)
 
+    def next_n(self, count):
+        """``count`` ranks, draw-for-draw identical to sequential
+        :meth:`next` calls, with the normalization constants hoisted."""
+        random = self.rng.random
+        zetan = self._zetan
+        eta = self._eta
+        alpha = self._alpha
+        items = self.items
+        top = items - 1
+        second = 1.0 + 0.5 ** self.theta
+        out = []
+        append = out.append
+        for _ in range(count):
+            u = random()
+            uz = u * zetan
+            if uz < 1.0:
+                append(0)
+            elif uz < second:
+                append(1)
+            else:
+                rank = int(items * (eta * u - eta + 1.0) ** alpha)
+                append(rank if rank < top else top)
+        return out
+
 
 class ScrambledZipfianGenerator:
-    """Zipfian ranks scrambled over the keyspace through FNV-1a."""
+    """Zipfian ranks scrambled over the keyspace through FNV-1a.
+
+    The rank -> index scramble is pure, and zipfian traffic re-draws a
+    small hot set of ranks constantly, so the hash is memoized per
+    generator (bounded by the keyspace size).
+    """
 
     def __init__(self, items, theta=0.99, seed=0, rng=None):
         self.items = items
         self._zipf = ZipfianGenerator(items, theta=theta, seed=seed,
                                       rng=rng)
+        self._scramble = {}
 
     def next(self):
-        return fnv64(self._zipf.next()) % self.items
+        rank = self._zipf.next()
+        index = self._scramble.get(rank)
+        if index is None:
+            index = self._scramble[rank] = fnv64(rank) % self.items
+        return index
+
+    def next_n(self, count):
+        """Batch :meth:`next`: the scramble memo is probed in-loop."""
+        scramble = self._scramble
+        items = self.items
+        out = self._zipf.next_n(count)
+        for pos, rank in enumerate(out):
+            index = scramble.get(rank)
+            if index is None:
+                index = scramble[rank] = fnv64(rank) % items
+            out[pos] = index
+        return out
 
 
 class UniformGenerator:
@@ -123,6 +182,12 @@ class UniformGenerator:
 
     def next(self):
         return self.rng.randrange(self.items)
+
+    def next_n(self, count):
+        """Batch :meth:`next`: identical ``randrange`` consumption."""
+        randrange = self.rng.randrange
+        items = self.items
+        return [randrange(items) for _ in range(count)]
 
 
 class LatestGenerator:
@@ -150,6 +215,16 @@ class LatestGenerator:
 
     def next(self):
         return self.last - self._zipf.next()
+
+    def next_n(self, count):
+        """Batch :meth:`next`.
+
+        Only valid between inserts — callers that may interleave
+        :meth:`note_insert` (the request streams) batch at the stream
+        layer instead, where inserts break the batch naturally.
+        """
+        last = self.last
+        return [last - rank for rank in self._zipf.next_n(count)]
 
 
 # -- workload specs ----------------------------------------------------------
@@ -236,6 +311,11 @@ def key_index(key):
     return int(key[4:])
 
 
+#: The 0x5E possible single-byte value patterns, prebuilt so
+#: :func:`make_value` never allocates a one-byte ``bytes`` per write.
+_VALUE_BYTES = tuple(bytes((0x21 + i,)) for i in range(0x5E))
+
+
 def make_value(spec, index, version):
     """Deterministic, never-all-zero value bytes for one write.
 
@@ -245,7 +325,7 @@ def make_value(spec, index, version):
     as a valid value.
     """
     h = fnv64(index * 2654435761 + version)
-    return bytes([0x21 + h % 0x5E]) * spec.value_size
+    return _VALUE_BYTES[h % 0x5E] * spec.value_size
 
 
 @dataclass
@@ -333,6 +413,106 @@ class RequestStream:
             if op == "scan":
                 scan_len = 1 + self._rng.randrange(spec.scan_max)
             yield Request(op, index, scan_len, self._version)
+
+    def next_request(self):
+        """One :class:`Request`, without generator machinery.
+
+        Draw-for-draw identical to one step of :meth:`requests` — the
+        serving fast paths use it where batching is impossible (the
+        next stream to consume depends on simulated completion times).
+        """
+        spec = self.spec
+        op = self._next_op()
+        self._version += 1
+        if spec.distribution == "append" or op == "insert":
+            index = self._next_insert_index()
+            if spec.distribution == "latest":
+                self._keys.note_insert(index)
+            return Request("insert", index, 0, self._version)
+        if spec.distribution == "chain":
+            self._chain = fnv64(self._chain)
+            index = self._chain % self.records
+        elif spec.distribution == "latest":
+            index = max(0, self._keys.next())
+        else:
+            index = self._keys.next()
+        scan_len = 0
+        if op == "scan":
+            scan_len = 1 + self._rng.randrange(spec.scan_max)
+        return Request(op, index, scan_len, self._version)
+
+    def next_requests(self, count):
+        """A batch of ``count`` requests as a list.
+
+        Draw-for-draw identical to ``count`` sequential
+        :meth:`next_request` calls, with the per-request attribute
+        lookups, mix thresholds and distribution dispatch hoisted out
+        of the loop.  Request generation never consults machine state,
+        so a stream's batch can be prefetched ahead of execution
+        without changing anything downstream.
+        """
+        spec = self.spec
+        dist = spec.distribution
+        rng_random = self._rng.random
+        randrange = self._rng.randrange
+        # Cumulative mix thresholds, accumulated exactly like
+        # _next_op's scan so float partial sums match bit-for-bit.
+        bounds = []
+        acc = 0.0
+        for name, weight in spec.mix:
+            acc += weight
+            bounds.append((acc, name))
+        bound0, op0 = bounds[0]
+        rest = bounds[1:]
+        last_op = bounds[-1][1]
+        keys = self._keys
+        keys_next = keys.next if keys is not None else None
+        records = self.records
+        scan_max = spec.scan_max
+        is_append = dist == "append"
+        is_chain = dist == "chain"
+        is_latest = dist == "latest"
+        chain = self._chain if is_chain else 0
+        base = records + self.client * self.capacity
+        inserted = self._inserted
+        version = self._version
+        out = []
+        append_out = out.append
+        for _ in range(count):
+            u = rng_random()
+            if u < bound0:
+                op = op0
+            else:
+                op = last_op
+                for bound, name in rest:
+                    if u < bound:
+                        op = name
+                        break
+            version += 1
+            if is_append or op == "insert":
+                index = base + inserted
+                inserted += 1
+                if is_latest:
+                    keys.note_insert(index)
+                append_out(Request("insert", index, 0, version))
+                continue
+            if is_chain:
+                chain = fnv64(chain)
+                index = chain % records
+            else:
+                index = keys_next()
+                if is_latest and index < 0:
+                    index = 0
+            if op == "scan":
+                append_out(Request(op, index,
+                                   1 + randrange(scan_max), version))
+            else:
+                append_out(Request(op, index, 0, version))
+        self._version = version
+        self._inserted = inserted
+        if is_chain:
+            self._chain = chain
+        return out
 
 
 def get_workload(name):

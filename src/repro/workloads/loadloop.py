@@ -24,6 +24,7 @@ report on any host, serial or parallel.
 from random import Random
 
 from repro.lattester.stats import percentile
+from repro.sim import engine as _engine
 from repro.telemetry.events import CAT_SERVE
 from repro.workloads.generators import (
     RequestStream, make_key, make_value,
@@ -87,9 +88,9 @@ def preload(service, machine, spec, records, seed=0):
     ``0..records-1`` at version 0, written by one loader thread.
     """
     thread = machine.thread()
+    put = service.put
     for index in range(records):
-        service.put(thread, make_key(index),
-                    make_value(spec, index, 0))
+        put(thread, make_key(index), make_value(spec, index, 0))
     return thread.now
 
 
@@ -121,40 +122,138 @@ def _summarize(latencies_ns, ops_by_type, start_ns, end_ns, ops):
     }
 
 
+#: Requests prefetched per client between executions on the fast path.
+#: Generation never reads machine state, so any chunking is safe; this
+#: bounds the prefetch memory while amortizing the batch setup.
+_CHUNK = 256
+
+
+def _client_step(service, machine, spec, thread, stream, budget,
+                 ops_by_type):
+    """One-request step closure for the closed-loop fast path.
+
+    Each call performs exactly what one iteration of the reference
+    ``client_loop`` generator body does: take the client's next
+    request, apply it (the :func:`execute_request` dispatch inlined
+    with the per-op attribute lookups hoisted), record the latency,
+    trace, and count.  Requests are prefetched in chunks via the
+    stream's batch API.
+    """
+    pmcheck = machine.pmcheck
+    tracer = machine.tracer
+    service_get = service.get
+    service_put = service.put
+    service_scan = service.scan
+    service_delete = service.delete
+    latencies = thread.latencies
+    next_requests = stream.next_requests
+    batch = []
+    pos = 0
+    left = budget
+
+    def step():
+        nonlocal batch, pos, left
+        if pos == len(batch):
+            n = _CHUNK if left > _CHUNK else left
+            batch = next_requests(n)
+            left -= n
+            pos = 0
+        req = batch[pos]
+        pos += 1
+        begin = thread.now
+        op = req.op
+        key = b"user%012d" % req.key_index
+        if op == "read":
+            service_get(thread, key)
+        elif op == "update" or op == "insert":
+            if pmcheck is not None:
+                pmcheck.op_begin(thread, op)
+            service_put(thread, key,
+                        make_value(spec, req.key_index, req.version))
+            if pmcheck is not None:
+                pmcheck.op_ack(thread)
+        elif op == "scan":
+            service_scan(thread, key, req.scan_len)
+        elif op == "rmw":
+            service_get(thread, key)
+            if pmcheck is not None:
+                pmcheck.op_begin(thread, op)
+            service_put(thread, key,
+                        make_value(spec, req.key_index, req.version))
+            if pmcheck is not None:
+                pmcheck.op_ack(thread)
+        elif op == "delete":
+            if pmcheck is not None:
+                pmcheck.op_begin(thread, op)
+            service_delete(thread, key)
+            if pmcheck is not None:
+                pmcheck.op_ack(thread)
+        else:
+            raise ValueError("unknown op %r" % op)
+        end = thread.now
+        latencies.append(end - begin)
+        if tracer is not None:
+            tracer.complete(begin, CAT_SERVE, op, end - begin,
+                            track="client%d" % thread.tid)
+        ops_by_type[op] = ops_by_type.get(op, 0) + 1
+
+    return step
+
+
 def closed_loop(machine, service, spec, records, ops, clients=2,
-                seed=0):
+                seed=0, load_end=None):
     """Serve ``ops`` requests from ``clients`` closed-loop clients.
 
     The op budget is split evenly (the remainder goes to the lowest
     client ids, keeping the split deterministic).  Returns the report
-    dict.
+    dict.  ``load_end`` skips the internal preload when the caller
+    already ran :func:`preload` (pass its return value) — the
+    wall-clock benchmarks use this to time serving separately.
     """
     if clients < 1:
         raise ValueError("need at least one client")
-    start_ns = preload(service, machine, spec, records, seed=seed)
+    start_ns = preload(service, machine, spec, records, seed=seed) \
+        if load_end is None else load_end
     threads = machine.threads(clients)
     ops_by_type = {}
     per_client = [ops // clients + (1 if c < ops % clients else 0)
                   for c in range(clients)]
 
-    def client_loop(thread, client, budget):
-        stream = RequestStream(spec, records, seed=seed, client=client)
-        for req in stream.requests(budget):
-            begin = thread.now
-            op = execute_request(service, thread, spec, req)
-            thread.record_latency(thread.now - begin)
-            _trace(machine, thread, op, begin, thread.now)
-            ops_by_type[op] = ops_by_type.get(op, 0) + 1
-            yield
+    if _engine.FASTPATH_ENABLED:
+        # Fast path: batched request prefetch and direct min-clock
+        # interleaving — the same execution order and simulated events
+        # as the generator/scheduler reference below, byte-identically.
+        entries = []
+        for client, thread in enumerate(threads):
+            thread.now = start_ns
+            thread.collect_latencies()
+            stream = RequestStream(spec, records, seed=seed,
+                                   client=client)
+            entries.append((thread, per_client[client],
+                            _client_step(service, machine, spec,
+                                         thread, stream,
+                                         per_client[client],
+                                         ops_by_type)))
+        end_ns = _engine.run_interleaved(entries)
+    else:
+        def client_loop(thread, client, budget):
+            stream = RequestStream(spec, records, seed=seed,
+                                   client=client)
+            for req in stream.requests(budget):
+                begin = thread.now
+                op = execute_request(service, thread, spec, req)
+                thread.record_latency(thread.now - begin)
+                _trace(machine, thread, op, begin, thread.now)
+                ops_by_type[op] = ops_by_type.get(op, 0) + 1
+                yield
 
-    pairs = []
-    for client, thread in enumerate(threads):
-        thread.now = start_ns
-        thread.collect_latencies()
-        pairs.append((thread,
-                      client_loop(thread, client, per_client[client])))
-    from repro.sim.engine import run_workloads
-    end_ns = run_workloads(pairs)
+        pairs = []
+        for client, thread in enumerate(threads):
+            thread.now = start_ns
+            thread.collect_latencies()
+            pairs.append((thread, client_loop(thread, client,
+                                              per_client[client])))
+        end_ns = _engine.run_workloads(pairs)
     latencies = []
     for thread in threads:
         latencies.extend(thread.latencies)
@@ -165,7 +264,7 @@ def closed_loop(machine, service, spec, records, ops, clients=2,
 
 
 def open_loop(machine, service, spec, records, ops, rate_kops,
-              workers=2, seed=0):
+              workers=2, seed=0, load_end=None):
     """Serve ``ops`` Poisson arrivals at ``rate_kops`` thousand ops/s.
 
     Arrival times come from a seeded exponential interarrival stream —
@@ -174,13 +273,15 @@ def open_loop(machine, service, spec, records, ops, rate_kops,
     a request's latency is *completion minus arrival*, so queueing
     delay while every worker is busy counts against the SLO.  That is
     the open-loop property: past saturation the backlog — and p99 —
-    grows without bound.
+    grows without bound.  ``load_end`` skips the internal preload like
+    :func:`closed_loop`'s.
     """
     if workers < 1:
         raise ValueError("need at least one worker")
     if rate_kops <= 0:
         raise ValueError("offered rate must be positive")
-    start_ns = preload(service, machine, spec, records, seed=seed)
+    start_ns = preload(service, machine, spec, records, seed=seed) \
+        if load_end is None else load_end
     threads = machine.threads(workers)
     streams = []
     for worker, thread in enumerate(threads):
@@ -193,20 +294,64 @@ def open_loop(machine, service, spec, records, ops, rate_kops,
     latencies = []
     clock = start_ns
     queue_peak = 0
-    for _ in range(ops):
-        clock += arrival_rng.expovariate(1.0 / mean_gap_ns)
-        # Earliest-free worker; ties resolved by worker id.
-        thread = min(threads, key=lambda t: (t.now, t.tid))
-        waiting = sum(1 for t in threads if t.now > clock)
-        queue_peak = max(queue_peak, waiting)
-        if thread.now < clock:
-            thread.now = clock
-        req = next(streams[thread.tid - threads[0].tid].requests(1))
-        begin = thread.now
-        op = execute_request(service, thread, spec, req)
-        _trace(machine, thread, op, begin, thread.now)
-        ops_by_type[op] = ops_by_type.get(op, 0) + 1
-        latencies.append(thread.now - clock)
+    if _engine.FASTPATH_ENABLED:
+        # Fast path: the dispatch loop with the worker scan fused (one
+        # pass finds the earliest-free worker and counts busy ones),
+        # per-arrival attribute lookups hoisted, and the per-request
+        # generator replaced by the stream's direct step.  Arrival
+        # draws, worker choice and executed requests are identical.
+        expovariate = arrival_rng.expovariate
+        inv_gap = 1.0 / mean_gap_ns
+        execute = execute_request
+        tracer = machine.tracer
+        ops_get = ops_by_type.get
+        append_latency = latencies.append
+        for _ in range(ops):
+            clock += expovariate(inv_gap)
+            # Earliest-free worker (ties to the lowest id: threads are
+            # in tid order and the scan keeps the first minimum) and
+            # the count of workers still busy past the arrival.
+            worker = 0
+            thread = threads[0]
+            best_now = thread.now
+            waiting = 1 if best_now > clock else 0
+            for wi in range(1, workers):
+                t = threads[wi]
+                now = t.now
+                if now > clock:
+                    waiting += 1
+                if now < best_now:
+                    worker = wi
+                    thread = t
+                    best_now = now
+            if waiting > queue_peak:
+                queue_peak = waiting
+            if best_now < clock:
+                thread.now = clock
+            req = streams[worker].next_request()
+            begin = thread.now
+            op = execute(service, thread, spec, req)
+            if tracer is not None:
+                tracer.complete(begin, CAT_SERVE, op,
+                                thread.now - begin,
+                                track="client%d" % thread.tid)
+            ops_by_type[op] = ops_get(op, 0) + 1
+            append_latency(thread.now - clock)
+    else:
+        for _ in range(ops):
+            clock += arrival_rng.expovariate(1.0 / mean_gap_ns)
+            # Earliest-free worker; ties resolved by worker id.
+            thread = min(threads, key=lambda t: (t.now, t.tid))
+            waiting = sum(1 for t in threads if t.now > clock)
+            queue_peak = max(queue_peak, waiting)
+            if thread.now < clock:
+                thread.now = clock
+            req = next(streams[thread.tid - threads[0].tid].requests(1))
+            begin = thread.now
+            op = execute_request(service, thread, spec, req)
+            _trace(machine, thread, op, begin, thread.now)
+            ops_by_type[op] = ops_by_type.get(op, 0) + 1
+            latencies.append(thread.now - clock)
     end_ns = max(t.now for t in threads)
     report = _summarize(latencies, ops_by_type, start_ns, end_ns, ops)
     report["mode"] = "open"
