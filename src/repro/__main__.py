@@ -20,6 +20,11 @@ Commands:
 * ``pmcheck ycsb-a lsm``  — persistency-order check: run the traffic
   with the durability checker installed and report missing, misordered
   or redundant flushes with call-site attribution
+* ``report serve.json.manifest.json`` — render the always-on
+  observability artifacts of a serve or chaos run: latency/SLO-burn
+  tables per substrate, latency-vs-load curves, chaos timelines
+  (``--json`` for the canonical JSON, ``--html`` for a self-contained
+  single-file page)
 * ``bench [--quick]``     — wall-clock microbenchmarks of the
   simulator's hot paths; ``--compare old.json`` exits 1 on a >20%
   throughput regression
@@ -175,6 +180,11 @@ def cmd_compare(args):
     except (OSError, json.JSONDecodeError) as exc:
         print("cannot read manifest: %s" % exc, file=sys.stderr)
         return 2
+    # Fold each point's obs blob down to p50/p95/p99 so the diff gains
+    # latency-distribution drift lines without raw bucket noise.
+    from repro.obs import attach_obs_metrics
+    attach_obs_metrics(a, args.a)
+    attach_obs_metrics(b, args.b)
     comparison = compare_manifests(a, b, tolerance=args.tolerance)
     print("comparing %s (%s) vs %s (%s), tolerance %.1f%%"
           % (args.a, a.version, args.b, b.version,
@@ -324,13 +334,20 @@ def _cmd_serve_chaos(args):
         print(exc, file=sys.stderr)
         return 2
 
-    report = {"cells": run.records, "violations": run.violations}
+    # The report keeps its pre-obs byte layout: obs blobs live in the
+    # manifest's content-addressed artifacts, not in the report cells.
+    cells = [{k: v for k, v in rec.items() if k != "obs"}
+             for rec in run.records]
+    report = {"cells": cells, "violations": run.violations}
     if args.pmcheck:
         report["pmcheck_violations"] = run.pmcheck_violations
     with open(args.out, "w") as fh:
         json.dump(report, fh, sort_keys=True, indent=1, allow_nan=False)
         fh.write("\n")
-    run.manifest.save(args.out + ".manifest.json")
+    from repro.obs import externalize_obs
+    manifest_path = args.out + ".manifest.json"
+    externalize_obs(run.manifest, manifest_path)
+    run.manifest.save(manifest_path)
 
     print("chaos serving%s%s: %d cells, seed %d"
           % (" (quick)" if args.quick else "",
@@ -409,7 +426,10 @@ def cmd_serve(args):
         json.dump(report, fh, sort_keys=True, indent=1,
                   allow_nan=False)
         fh.write("\n")
-    manifest.save(args.out + ".manifest.json")
+    from repro.obs import externalize_obs
+    manifest_path = args.out + ".manifest.json"
+    externalize_obs(manifest, manifest_path)
+    manifest.save(manifest_path)
 
     sat = report["saturation"]
     closed = report["closed"]
@@ -510,10 +530,65 @@ def cmd_pmcheck(args):
     return 0
 
 
+def cmd_report(args):
+    """The ``report`` verb: render a run's obs artifacts."""
+    import glob
+    import json
+    import os
+
+    from repro.harness import RunManifest
+    from repro.obs import (
+        ObsReportError, build_report, merged_histograms, render_html,
+        render_tables, report_json,
+    )
+
+    if os.path.isdir(args.target):
+        if args.json or args.html:
+            print("--json/--html need a single manifest, not a "
+                  "directory", file=sys.stderr)
+            return 2
+        paths = sorted(glob.glob(os.path.join(args.target,
+                                              "*.manifest.json")))
+        if not paths:
+            print("no *.manifest.json under %s" % args.target,
+                  file=sys.stderr)
+            return 2
+    else:
+        paths = [args.target]
+    status = 0
+    for path in paths:
+        try:
+            manifest = RunManifest.load(path)
+        except (OSError, json.JSONDecodeError) as exc:
+            print("cannot read manifest: %s" % exc, file=sys.stderr)
+            return 2
+        base_dir = os.path.dirname(os.path.abspath(path))
+        try:
+            report = build_report(manifest, base_dir=base_dir)
+        except ObsReportError as exc:
+            print("%s: %s" % (path, exc), file=sys.stderr)
+            status = 1
+            continue
+        if len(paths) > 1:
+            print("== %s" % path)
+        print(render_tables(report))
+        if args.json:
+            with open(args.json, "w") as fh:
+                fh.write(report_json(report))
+            print("report JSON -> %s" % args.json)
+        if args.html:
+            hists = merged_histograms(manifest, base_dir=base_dir)
+            with open(args.html, "w") as fh:
+                fh.write(render_html(report, merged_hists=hists))
+            print("HTML report -> %s" % args.html)
+    return status
+
+
 #: Every CLI verb, in help order (unknown-verb errors print this).
 COMMANDS = (
-    "list", "run", "trace", "sweep", "serve", "pmcheck", "cache",
-    "compare", "faults", "bench", "calibrate", "guidelines", "audit",
+    "list", "run", "trace", "sweep", "serve", "pmcheck", "report",
+    "cache", "compare", "faults", "bench", "calibrate", "guidelines",
+    "audit",
 )
 
 
@@ -650,6 +725,17 @@ def build_parser():
     pmcheck.add_argument("--trace-dir", default=None,
                          help="write a Chrome trace per freshly "
                               "computed cell into this directory")
+    report = sub.add_parser(
+        "report", help="render a run's observability artifacts")
+    report.add_argument("target",
+                        help="a run manifest (*.manifest.json) or a "
+                             "directory of them")
+    report.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the canonical report JSON "
+                             "here (byte-identical across job counts)")
+    report.add_argument("--html", default=None, metavar="PATH",
+                        help="also write a self-contained single-file "
+                             "HTML report here")
     cache = sub.add_parser("cache", help="result-cache maintenance")
     cache.add_argument("action", choices=("stats", "clear"))
     cache.add_argument("--cache-dir", default=None,
@@ -704,6 +790,11 @@ def build_parser():
                        metavar="FRAC", dest="fail_tolerance",
                        help="relative loss that fails --compare "
                             "(default: 0.20)")
+    bench.add_argument("--obs-tolerance", type=float, default=None,
+                       metavar="FRAC", dest="obs_tolerance",
+                       help="max throughput the obs recorder may cost "
+                            "vs serve_closed (default: 0.05; exceeding "
+                            "it fails the run)")
     bench.add_argument("--profile", default=None, metavar="NAME",
                        help="cProfile one benchmark instead of timing "
                             "the suite; writes a .pstats dump and "
@@ -746,6 +837,7 @@ def main(argv=None):
         "sweep": cmd_sweep,
         "serve": cmd_serve,
         "pmcheck": cmd_pmcheck,
+        "report": cmd_report,
         "cache": cmd_cache,
         "compare": cmd_compare,
         "faults": cmd_faults,

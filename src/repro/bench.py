@@ -24,7 +24,14 @@ stress different code:
 * ``pmcheck_overhead`` — the ``serve_closed`` workload with the
   persistency-order checker installed (the composed per-line paths
   plus the checker's state machine; compare against ``serve_closed``
-  for the checking tax).
+  for the checking tax);
+* ``obs_overhead``    — the ``serve_closed`` workload with the
+  always-on observability recorder attached (two list appends per
+  request in the loop, histogram/window folding after it).  Each run
+  times recording-off and recording-on arms back to back and ``main``
+  holds the *paired* loss at ``--obs-tolerance`` (default 5%):
+  observability that is not cheap enough to leave on is a regression,
+  not a feature.
 
 Results land in ``BENCH_sim.json`` as ``{name: {wall_s, sim_ops,
 ops_per_s}}`` where ``sim_ops`` counts simulated cache-line operations
@@ -61,6 +68,8 @@ from repro._units import CACHELINE, KIB
 REGRESSION_TOLERANCE = 0.20
 #: Relative ops/s loss that is reported (without failing) by default.
 WARN_TOLERANCE = 0.10
+#: Max throughput ``obs_overhead`` may lose versus ``serve_closed``.
+OBS_OVERHEAD_TOLERANCE = 0.05
 
 
 def _timed(fn):
@@ -207,6 +216,49 @@ def bench_pmcheck_overhead(quick=False):
     return report["ops"], wall
 
 
+#: ``(sim_ops, recording_off_wall, recording_on_wall)`` triples from
+#: ``bench_obs_overhead`` runs.  The obs gate reads these so it holds
+#: the tax from arms measured *back to back* in one call — comparing
+#: against the ``serve_closed`` row timed minutes earlier folds CPU
+#: frequency/thermal drift into a ratio that must resolve 5%.
+_OBS_PAIRS = []
+
+
+def bench_obs_overhead(quick=False):
+    """``serve_closed`` with the obs recorder attached.
+
+    The recording tax is the per-request latency/timestamp appends
+    inside the (still fused) serve loop plus the post-loop histogram
+    and burn-window folding.  Each call times the identical serve
+    loop twice on fresh machines — recording off, then on — so the
+    gate in :func:`main` compares a *paired* measurement; the timed
+    row reports the recording-on arm.
+    """
+    from repro.obs import ObsRecorder
+    from repro.sim.platform import Machine
+    from repro.workloads import closed_loop, get_workload, make_service
+    from repro.workloads.loadloop import preload
+    records = 192 if quick else 512
+    ops = 2048 if quick else 4096
+    spec = get_workload("ycsb-a")
+
+    def arm(obs):
+        machine = Machine()
+        service = make_service("lsm", machine, spec, records=records,
+                               ops=ops, seed=0)
+        load_end = preload(service, machine, spec, records, seed=0)
+        started = time.perf_counter()
+        report = closed_loop(machine, service, spec, records=records,
+                             ops=ops, clients=4, seed=0,
+                             load_end=load_end, obs=obs)
+        return report, time.perf_counter() - started
+
+    _, off_wall = arm(None)
+    report, on_wall = arm(ObsRecorder("lsm", workload="ycsb-a"))
+    _OBS_PAIRS.append((report["ops"], off_wall, on_wall))
+    return report["ops"], on_wall
+
+
 BENCHMARKS = (
     ("idle_latency", bench_idle_latency),
     ("bandwidth_1t", bench_bandwidth_1t),
@@ -216,6 +268,7 @@ BENCHMARKS = (
     ("serve_open", bench_serve_open),
     ("serve_chaos", bench_serve_chaos),
     ("pmcheck_overhead", bench_pmcheck_overhead),
+    ("obs_overhead", bench_obs_overhead),
 )
 
 
@@ -350,14 +403,37 @@ def main(args):
     print("benchmarking simulator hot paths%s ..."
           % (" (quick)" if args.quick else ""))
     repeats = getattr(args, "repeats", None) or (5 if args.quick else 3)
+    del _OBS_PAIRS[:]
     results = run_benchmarks(quick=args.quick, progress=progress,
                              repeats=repeats)
     with open(args.out, "w") as fh:
         json.dump(results, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print("wrote %s" % args.out)
+    status = 0
+    obs_tol = getattr(args, "obs_tolerance", None)
+    if obs_tol is None:
+        obs_tol = OBS_OVERHEAD_TOLERANCE
+    # Paired gate: min recording-off vs min recording-on wall from the
+    # back-to-back arms, restricted to timed-shape runs (the warm-up
+    # uses the quick shape even in full mode).
+    timed_ops = results.get("obs_overhead", {}).get("sim_ops")
+    pairs = [(off, on) for ops, off, on in _OBS_PAIRS
+             if ops == timed_ops]
+    if pairs:
+        off_wall = min(off for off, _ in pairs)
+        on_wall = min(on for _, on in pairs)
+        loss = 1.0 - off_wall / on_wall if on_wall > 0 else 0.0
+        print("obs recording tax: %+.1f%% of serve_closed throughput "
+              "(gate: %.0f%%, paired)"
+              % (100.0 * loss, 100.0 * obs_tol))
+        if loss > obs_tol:
+            print("FAIL: always-on observability costs %.1f%% "
+                  "throughput; it must stay under %.0f%% to stay "
+                  "always-on" % (100.0 * loss, 100.0 * obs_tol))
+            status = 1
     if args.compare is None:
-        return 0
+        return status
     warn_tol = getattr(args, "warn_tolerance", None)
     fail_tol = getattr(args, "fail_tolerance", None)
     if warn_tol is None:
@@ -377,7 +453,7 @@ def main(args):
     if worst_loss > warn_tol:
         print("WARN: worst loss %.1f%% exceeds warn tolerance %d%%"
               % (100.0 * worst_loss, int(warn_tol * 100)))
-        return 0
+        return status
     print("no benchmark regressed more than %d%% vs %s"
           % (int(warn_tol * 100), args.compare))
-    return 0
+    return status

@@ -93,6 +93,13 @@ class CircuitBreaker:
             return False
         return True
 
+    def transition_counts(self):
+        """Transition tally by target state (for obs counters)."""
+        counts = {}
+        for _ts, state in self.transitions:
+            counts[state] = counts.get(state, 0) + 1
+        return counts
+
     def record(self, ok, now_ns):
         """Feed one request outcome back into the breaker."""
         if self.threshold <= 0:

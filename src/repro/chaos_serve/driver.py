@@ -49,6 +49,7 @@ from repro.chaos_serve.history import DELETE, PUT, History
 from repro.chaos_serve.oracle import check_durability, service_read_fn
 from repro.faults.model import FaultController, MediaError, _mix
 from repro.faults.report import RecoveryReport
+from repro.obs import ObsRecorder
 from repro.sim.crashpoints import CrashInjector, SimulatedPowerFailure
 from repro.sim.platform import Machine
 from repro.telemetry.events import CAT_CHAOS, CAT_DEGRADE
@@ -120,6 +121,10 @@ class _Env:
         self._breaker_seen = 0
         self.load_end = 0.0
         self.injector = None
+        # Always-on observability: request-granularity recording that
+        # keeps the fused fast paths enabled (REPRO_OBS=0 disables).
+        self.obs = ObsRecorder.from_env(payload["substrate"],
+                                        workload=payload["workload"])
 
     # -- tracing --------------------------------------------------------
 
@@ -128,6 +133,12 @@ class _Env:
         if tracer is not None:
             tracer.instant(tracer.last_ts, CAT_CHAOS, name,
                            track="chaos", args=args)
+        if self.obs is not None:
+            # Virtual timestamp of the latest serving progress — the
+            # same instant a tracer would stamp, derived without one.
+            ts = max((t.now for t in self.threads),
+                     default=self.load_end)
+            self.obs.event(ts, name, args)
 
     def degrade_instant(self, thread, name, client, args=None):
         tracer = self.machine.tracer
@@ -144,6 +155,9 @@ class _Env:
                 tracer.instant(ts, CAT_DEGRADE,
                                "degrade.breaker_" + state,
                                track="degrade")
+        if self.obs is not None:
+            for ts, state in new:
+                self.obs.event(ts, "breaker." + state)
 
 
 # -- fault scheduling --------------------------------------------------------
@@ -341,6 +355,15 @@ def _recover_and_audit(env, at_op, final=False):
                             "lost": report.lost,
                             "violations": len(check["violations"]),
                         })
+    if env.obs is not None:
+        env.obs.event(start, "chaos.recovery", {
+            "at_op": at_op,
+            "final": bool(final),
+            "recovered": report.recovered,
+            "truncated": report.truncated,
+            "lost": report.lost,
+            "violations": len(check["violations"]),
+        })
 
 
 # -- serving loops -----------------------------------------------------------
@@ -363,6 +386,9 @@ def _closed_serve(env):
     latencies = []
     ops_by_type = {}
     results = {}
+    obs = env.obs
+    obs_ts = None if obs is None else []
+    ts_append = None if obs_ts is None else obs_ts.append
     if _engine.FASTPATH_ENABLED:
         # Batched dispatch: each client's request sequence depends only
         # on its own seeded RNG (never on machine state or the other
@@ -410,6 +436,10 @@ def _closed_serve(env):
             if disp == OK:
                 ops_by_type[req.op] = ops_by_type.get(req.op, 0) + 1
                 latencies.append(latency)
+                if ts_append is not None:
+                    ts_append(thread.now)
+            elif obs is not None and (disp == FAILED or disp == BROKEN):
+                obs.error(req.op, thread.now)
     else:
         iters = [iter(streams[c].requests(budgets[c]))
                  for c in range(clients)]
@@ -438,7 +468,14 @@ def _closed_serve(env):
             if disp == OK:
                 ops_by_type[req.op] = ops_by_type.get(req.op, 0) + 1
                 latencies.append(latency)
+                if ts_append is not None:
+                    ts_append(thread.now)
+            elif obs is not None and (disp == FAILED or disp == BROKEN):
+                obs.error(req.op, thread.now)
     end_ns = max(t.now for t in threads)
+    if obs is not None:
+        obs.ingest(latencies, obs_ts)
+        obs.ingest_ops(ops_by_type)
     report = _summarize(latencies, ops_by_type, start_ns, end_ns,
                         len(latencies))
     report["mode"] = "closed"
@@ -470,6 +507,9 @@ def _open_serve(env):
     latencies = []
     ops_by_type = {}
     results = {}
+    obs = env.obs
+    obs_ts = None if obs is None else []
+    ts_append = None if obs_ts is None else obs_ts.append
     if _engine.FASTPATH_ENABLED:
         # Hoisted dispatch loop: per-arrival work drops the lambda-key
         # min() (threads are scanned strict-< in tid order, which is
@@ -527,6 +567,10 @@ def _open_serve(env):
             if disp == OK:
                 ops_by_type[req.op] = ops_by_type.get(req.op, 0) + 1
                 latencies.append(latency)
+                if ts_append is not None:
+                    ts_append(worker.now)
+            elif obs is not None and (disp == FAILED or disp == BROKEN):
+                obs.error(req.op, worker.now)
             heappush(inflight, worker.now)
     else:
         for i in range(1, env.ops + 1):
@@ -564,8 +608,15 @@ def _open_serve(env):
             if disp == OK:
                 ops_by_type[req.op] = ops_by_type.get(req.op, 0) + 1
                 latencies.append(latency)
+                if ts_append is not None:
+                    ts_append(worker.now)
+            elif obs is not None and (disp == FAILED or disp == BROKEN):
+                obs.error(req.op, worker.now)
             heapq.heappush(inflight, worker.now)
     end_ns = max(t.now for t in threads)
+    if obs is not None:
+        obs.ingest(latencies, obs_ts)
+        obs.ingest_ops(ops_by_type)
     report = _summarize(latencies, ops_by_type, start_ns, end_ns,
                         len(latencies))
     report["mode"] = "open"
@@ -610,6 +661,19 @@ def _cell_inner(payload):
     finally:
         env.injector.uninstall()
     crashes = sum(1 for r in env.recoveries if not r["final"])
+    obs = env.obs
+    if obs is not None:
+        # Fold the cell's terminal tallies into the obs counters so the
+        # blob stands alone: degrade stats, breaker churn, dispositions
+        # and audit outcomes, all next to the latency histogram.
+        for k, v in sorted(env.stats.to_dict().items()):
+            obs.count("degrade_" + k, v)
+        for state, n in sorted(env.breaker.transition_counts().items()):
+            obs.count("breaker_" + state, n)
+        obs.count("recoveries", len(env.recoveries))
+        obs.count("violations", len(env.violations))
+        for disp in sorted(results):
+            obs.count("result_" + disp, results[disp])
     record = {
         "workload": payload["workload"],
         "substrate": payload["substrate"],
@@ -637,4 +701,6 @@ def _cell_inner(payload):
     if env.pmcheck is not None:
         record["pmcheck"] = env.pmcheck.summary()
         env.pmcheck.uninstall()
+    if obs is not None:
+        record["obs"] = obs.to_dict()
     return record

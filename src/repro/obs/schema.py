@@ -1,0 +1,99 @@
+"""Structural validation of obs artifact blobs.
+
+Mirrors :func:`repro.telemetry.export.validate_chrome_trace`: a plain
+checker returning a list of human-readable problems (empty = valid),
+strict about exactly the parts the report builder and the comparator
+rely on.  Used by the CI ``report-smoke`` job and the obs tests; the
+``repro report`` verb refuses to render an invalid blob.
+"""
+
+from repro.obs.hist import SUB_BUCKETS
+from repro.obs.recorder import OBS_VERSION
+
+#: Fields every blob must carry, with their required types.
+_REQUIRED = (
+    ("obs_version", int),
+    ("substrate", str),
+    ("slo_us", (int, float)),
+    ("window_us", (int, float)),
+    ("budget", (int, float)),
+    ("hist", dict),
+    ("ops", dict),
+    ("counters", dict),
+    ("windows", dict),
+    ("events", list),
+)
+
+
+def validate_obs(blob):
+    """Validate one obs blob; returns a list of problems."""
+    problems = []
+    if not isinstance(blob, dict):
+        return ["obs blob must be an object, got %s"
+                % type(blob).__name__]
+    for field, types in _REQUIRED:
+        if field not in blob:
+            problems.append("missing field %r" % field)
+        elif not isinstance(blob[field], types) \
+                or isinstance(blob[field], bool):
+            problems.append("field %r has type %s"
+                            % (field, type(blob[field]).__name__))
+    if problems:
+        return problems
+    if blob["obs_version"] != OBS_VERSION:
+        problems.append("obs_version %r (this build reads %d)"
+                        % (blob["obs_version"], OBS_VERSION))
+    hist = blob["hist"]
+    if hist.get("sub_buckets") != SUB_BUCKETS:
+        problems.append("hist.sub_buckets %r (expected %d)"
+                        % (hist.get("sub_buckets"), SUB_BUCKETS))
+    for idx, count in hist.get("counts", {}).items():
+        if not _is_int_key(idx) or not _is_count(count):
+            problems.append("hist.counts[%r] = %r is not a "
+                            "bucket count" % (idx, count))
+    for op, entry in blob["ops"].items():
+        if not isinstance(entry, dict) \
+                or not _is_count(entry.get("ok", 0)) \
+                or not _is_count(entry.get("errors", 0)):
+            problems.append("ops[%r] = %r is not an "
+                            "{ok, errors} entry" % (op, entry))
+    for name, value in blob["counters"].items():
+        if not _is_count(value):
+            problems.append("counters[%r] = %r is not a count"
+                            % (name, value))
+    for idx, win in blob["windows"].items():
+        if not _is_int_key(idx):
+            problems.append("windows key %r is not an integer" % idx)
+            continue
+        if (not isinstance(win, list) or len(win) != 5
+                or not all(isinstance(v, (int, float))
+                           and not isinstance(v, bool) for v in win)
+                or any(v < 0 for v in win)):
+            problems.append("windows[%s] = %r is not "
+                            "[ops, misses, errors, sum, max]"
+                            % (idx, win))
+    for i, event in enumerate(blob["events"]):
+        where = "events[%d]" % i
+        if not isinstance(event, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            problems.append("%s: missing name" % where)
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) \
+                or ts < 0:
+            problems.append("%s: bad ts %r" % (where, ts))
+    return problems
+
+
+def _is_int_key(key):
+    try:
+        int(key)
+    except (TypeError, ValueError):
+        return False
+    return True
+
+
+def _is_count(value):
+    return isinstance(value, int) and not isinstance(value, bool) \
+        and value >= 0

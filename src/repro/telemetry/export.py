@@ -63,13 +63,28 @@ def chrome_trace(tracer, pid=0):
         "otherData": {
             "clock": "virtual-ns",
             "dropped_events": tracer.dropped,
+            "buffer_capacity": tracer.capacity,
+            "complete": tracer.dropped == 0,
         },
         "traceEvents": out,
     }
 
 
 def write_chrome_trace(tracer, path, pid=0):
-    """Write the Chrome trace JSON; returns ``path``."""
+    """Write the Chrome trace JSON; returns ``path``.
+
+    A tracer that overflowed its ring buffer silently lost the run's
+    *oldest* events, so the trace is a suffix of the truth — warn
+    loudly on stderr (the header's ``dropped_events`` carries the same
+    count for tools).
+    """
+    if tracer.dropped:
+        import sys
+        print("WARNING: trace %s is incomplete: %d event(s) dropped "
+              "from a %d-event ring buffer; raise --buffer (or the "
+              "recording(capacity=...) argument) to capture the full "
+              "run" % (path, tracer.dropped, tracer.capacity),
+              file=sys.stderr)
     data = chrome_trace(tracer, pid=pid)
     with open(path, "w") as fh:
         json.dump(data, fh, sort_keys=True, allow_nan=False,

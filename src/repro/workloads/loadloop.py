@@ -129,7 +129,7 @@ _CHUNK = 256
 
 
 def _client_step(service, machine, spec, thread, stream, budget,
-                 ops_by_type):
+                 ops_by_type, obs_lists=None):
     """One-request step closure for the closed-loop fast path.
 
     Each call performs exactly what one iteration of the reference
@@ -138,6 +138,14 @@ def _client_step(service, machine, spec, thread, stream, budget,
     with the per-op attribute lookups hoisted), record the latency,
     trace, and count.  Requests are prefetched in chunks via the
     stream's batch API.
+
+    ``obs_lists`` is the observability hook: a ``(latencies, ts)``
+    pair of lists that receive each *request's* latency and completion
+    time (``thread.latencies`` also carries per-cache-line entries
+    from the namespace paths, so the recorder needs its own
+    request-granularity series).  Two bound-method calls per request —
+    the entire hot-loop cost of recording; histogram and window folds
+    happen in bulk after the loop.
     """
     pmcheck = machine.pmcheck
     tracer = machine.tracer
@@ -146,6 +154,11 @@ def _client_step(service, machine, spec, thread, stream, budget,
     service_scan = service.scan
     service_delete = service.delete
     latencies = thread.latencies
+    if obs_lists is None:
+        obs_lat_append = obs_ts_append = None
+    else:
+        obs_lat_append = obs_lists[0].append
+        obs_ts_append = obs_lists[1].append
     next_requests = stream.next_requests
     batch = []
     pos = 0
@@ -192,6 +205,9 @@ def _client_step(service, machine, spec, thread, stream, budget,
             raise ValueError("unknown op %r" % op)
         end = thread.now
         latencies.append(end - begin)
+        if obs_ts_append is not None:
+            obs_lat_append(end - begin)
+            obs_ts_append(end)
         if tracer is not None:
             tracer.complete(begin, CAT_SERVE, op, end - begin,
                             track="client%d" % thread.tid)
@@ -201,7 +217,7 @@ def _client_step(service, machine, spec, thread, stream, budget,
 
 
 def closed_loop(machine, service, spec, records, ops, clients=2,
-                seed=0, load_end=None):
+                seed=0, load_end=None, obs=None):
     """Serve ``ops`` requests from ``clients`` closed-loop clients.
 
     The op budget is split evenly (the remainder goes to the lowest
@@ -209,6 +225,15 @@ def closed_loop(machine, service, spec, records, ops, clients=2,
     dict.  ``load_end`` skips the internal preload when the caller
     already ran :func:`preload` (pass its return value) — the
     wall-clock benchmarks use this to time serving separately.
+
+    ``obs`` is an optional :class:`repro.obs.ObsRecorder`: during the
+    loop only per-request latencies and completion timestamps are
+    collected (two list appends per request, fast paths stay fused);
+    latency histogram, SLO windows and per-op counts are folded in
+    bulk once the loop finishes.  The recorder keeps its own
+    request-granularity series because ``thread.latencies`` — which
+    :func:`_summarize` reports on — also carries per-cache-line
+    entries from the namespace paths.
     """
     if clients < 1:
         raise ValueError("need at least one client")
@@ -218,6 +243,7 @@ def closed_loop(machine, service, spec, records, ops, clients=2,
     ops_by_type = {}
     per_client = [ops // clients + (1 if c < ops % clients else 0)
                   for c in range(clients)]
+    obs_lists = None if obs is None else [([], []) for _ in threads]
 
     if _engine.FASTPATH_ENABLED:
         # Fast path: batched request prefetch and direct min-clock
@@ -233,16 +259,23 @@ def closed_loop(machine, service, spec, records, ops, clients=2,
                             _client_step(service, machine, spec,
                                          thread, stream,
                                          per_client[client],
-                                         ops_by_type)))
+                                         ops_by_type,
+                                         None if obs_lists is None
+                                         else obs_lists[client])))
         end_ns = _engine.run_interleaved(entries)
     else:
         def client_loop(thread, client, budget):
             stream = RequestStream(spec, records, seed=seed,
                                    client=client)
+            pair = None if obs_lists is None else obs_lists[client]
             for req in stream.requests(budget):
                 begin = thread.now
                 op = execute_request(service, thread, spec, req)
-                thread.record_latency(thread.now - begin)
+                latency = thread.now - begin
+                thread.record_latency(latency)
+                if pair is not None:
+                    pair[0].append(latency)
+                    pair[1].append(thread.now)
                 _trace(machine, thread, op, begin, thread.now)
                 ops_by_type[op] = ops_by_type.get(op, 0) + 1
                 yield
@@ -257,6 +290,14 @@ def closed_loop(machine, service, spec, records, ops, clients=2,
     latencies = []
     for thread in threads:
         latencies.extend(thread.latencies)
+    if obs is not None:
+        obs_lat = []
+        obs_ts = []
+        for pair in obs_lists:
+            obs_lat.extend(pair[0])
+            obs_ts.extend(pair[1])
+        obs.ingest(obs_lat, obs_ts)
+        obs.ingest_ops(ops_by_type)
     report = _summarize(latencies, ops_by_type, start_ns, end_ns, ops)
     report["mode"] = "closed"
     report["clients"] = clients
@@ -264,7 +305,7 @@ def closed_loop(machine, service, spec, records, ops, clients=2,
 
 
 def open_loop(machine, service, spec, records, ops, rate_kops,
-              workers=2, seed=0, load_end=None):
+              workers=2, seed=0, load_end=None, obs=None):
     """Serve ``ops`` Poisson arrivals at ``rate_kops`` thousand ops/s.
 
     Arrival times come from a seeded exponential interarrival stream —
@@ -274,7 +315,9 @@ def open_loop(machine, service, spec, records, ops, rate_kops,
     delay while every worker is busy counts against the SLO.  That is
     the open-loop property: past saturation the backlog — and p99 —
     grows without bound.  ``load_end`` skips the internal preload like
-    :func:`closed_loop`'s.
+    :func:`closed_loop`'s, and ``obs`` records like
+    :func:`closed_loop`'s (one timestamp append per request in the
+    loop, bulk ingest after).
     """
     if workers < 1:
         raise ValueError("need at least one worker")
@@ -292,6 +335,7 @@ def open_loop(machine, service, spec, records, ops, rate_kops,
     mean_gap_ns = _NS_PER_S / (rate_kops * 1e3)
     ops_by_type = {}
     latencies = []
+    end_ts = None if obs is None else []
     clock = start_ns
     queue_peak = 0
     if _engine.FASTPATH_ENABLED:
@@ -306,6 +350,7 @@ def open_loop(machine, service, spec, records, ops, rate_kops,
         tracer = machine.tracer
         ops_get = ops_by_type.get
         append_latency = latencies.append
+        ts_append = None if end_ts is None else end_ts.append
         for _ in range(ops):
             clock += expovariate(inv_gap)
             # Earliest-free worker (ties to the lowest id: threads are
@@ -337,6 +382,8 @@ def open_loop(machine, service, spec, records, ops, rate_kops,
                                 track="client%d" % thread.tid)
             ops_by_type[op] = ops_get(op, 0) + 1
             append_latency(thread.now - clock)
+            if ts_append is not None:
+                ts_append(thread.now)
     else:
         for _ in range(ops):
             clock += arrival_rng.expovariate(1.0 / mean_gap_ns)
@@ -352,7 +399,12 @@ def open_loop(machine, service, spec, records, ops, rate_kops,
             _trace(machine, thread, op, begin, thread.now)
             ops_by_type[op] = ops_by_type.get(op, 0) + 1
             latencies.append(thread.now - clock)
+            if end_ts is not None:
+                end_ts.append(thread.now)
     end_ns = max(t.now for t in threads)
+    if obs is not None:
+        obs.ingest(latencies, end_ts)
+        obs.ingest_ops(ops_by_type)
     report = _summarize(latencies, ops_by_type, start_ns, end_ns, ops)
     report["mode"] = "open"
     report["workers"] = workers

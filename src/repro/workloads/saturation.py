@@ -68,6 +68,7 @@ def _serve_point(payload):
 
 
 def _measure(machine_cls, params):
+    from repro.obs import ObsRecorder
     spec = get_workload(params["workload"])
     machine = machine_cls()
     checker = None
@@ -81,8 +82,14 @@ def _measure(machine_cls, params):
     service = make_service(params["substrate"], machine, spec,
                            records=params["records"],
                            ops=params["ops"], seed=params["seed"])
+    # Always-on observability: the recorder rides inside the point and
+    # its blob travels in the record (through the cache and into the
+    # manifest), where the CLI externalizes it as a content-addressed
+    # artifact.  REPRO_OBS=0 yields None and the loops skip recording.
+    obs = ObsRecorder.from_env(params["substrate"],
+                               workload=params["workload"])
     common = dict(records=params["records"], ops=params["ops"],
-                  seed=params["seed"])
+                  seed=params["seed"], obs=obs)
     if params["mode"] == "closed":
         report = closed_loop(machine, service, spec,
                              clients=params["clients"], **common)
@@ -96,6 +103,8 @@ def _measure(machine_cls, params):
     if checker is not None:
         report["pmcheck"] = checker.summary()
         checker.uninstall()
+    if obs is not None:
+        report["obs"] = obs.to_dict()
     return report
 
 
@@ -110,8 +119,14 @@ def _base_params(workload, substrate, shape, seed):
     }
 
 
-def _one_point(params, **harness):
-    """One serve point through the harness (cache-checked)."""
+def _one_point(params, collect=None, **harness):
+    """One serve point through the harness (cache-checked).
+
+    ``collect`` optionally receives the point's manifest entry, so
+    :func:`serve` can fold the closed-loop run and every saturation
+    probe into the curve manifest (obs artifacts included) with their
+    real provenance (key, cached flag) preserved.
+    """
     grid = {key: (value,) for key, value in params.items()}
     run = run_sweep(grid, point_fn=_serve_point,
                     experiment=SERVE_EXPERIMENT, version=SERVE_VERSION,
@@ -119,6 +134,8 @@ def _one_point(params, **harness):
     if not run.ok:
         index, error = run.failures[0]
         raise RuntimeError("serve point failed: %s" % error)
+    if collect is not None:
+        collect.append(run.manifest.points[0])
     return run.records[0]
 
 
@@ -156,7 +173,9 @@ def serve(workload, substrate, quick=False, slo_p99_us=None, seed=0,
     if pmcheck:
         base["pmcheck"] = True
 
-    closed = _one_point(dict(base, mode="closed"), **harness)
+    closed_points = []
+    closed = _one_point(dict(base, mode="closed"),
+                        collect=closed_points, **harness)
     closed_kops = closed["achieved_kops"]
     explicit_slo = slo_p99_us is not None
     if not explicit_slo:
@@ -181,15 +200,25 @@ def serve(workload, substrate, quick=False, slo_p99_us=None, seed=0,
               "p999_us": rec["latency_us"]["p999"]}
              for rec in curve_run.records]
 
+    probe_points = []
     saturation = _search(base, closed_kops, slo_p99_us, explicit_slo,
-                         iters, harness)
+                         iters, harness, collect=probe_points)
+    # The returned manifest covers the *whole* study: closed-loop
+    # point, curve sweep, then every saturation probe, in that
+    # deterministic order — so obs artifacts cover every measurement
+    # and ``repro report`` sees the full picture.  Probe rates that
+    # landed on curve rates appear twice with identical keys; the
+    # comparator indexes by params, so duplicates collapse harmlessly.
+    curve_run.manifest.points = (closed_points
+                                 + curve_run.manifest.points
+                                 + probe_points)
     report = {
         "workload": workload,
         "substrate": substrate,
         "quick": bool(quick),
         "seed": seed,
         "shape": dict(shape),
-        "closed": closed,
+        "closed": {k: v for k, v in closed.items() if k != "obs"},
         "curve": curve,
         "saturation": saturation,
     }
@@ -211,14 +240,14 @@ def serve(workload, substrate, quick=False, slo_p99_us=None, seed=0,
     return report, curve_run.manifest
 
 
-def _probe(base, rate_kops, harness):
+def _probe(base, rate_kops, harness, collect=None):
     rec = _one_point(dict(base, mode="open", rate_kops=rate_kops),
-                     **harness)
+                     collect=collect, **harness)
     return rec["latency_us"]["p99"]
 
 
 def _search(base, closed_kops, slo_p99_us, explicit_slo, iters,
-            harness):
+            harness, collect=None):
     """Binary search for the max offered rate meeting the p99 SLO.
 
     Brackets between 5% and 125% of the closed-loop throughput: below
@@ -230,7 +259,7 @@ def _search(base, closed_kops, slo_p99_us, explicit_slo, iters,
     probes = []
 
     def meets(rate):
-        p99 = _probe(base, rate, harness)
+        p99 = _probe(base, rate, harness, collect=collect)
         ok = p99 <= slo_p99_us
         probes.append({"rate_kops": rate, "p99_us": p99,
                        "meets_slo": ok})

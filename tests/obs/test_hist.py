@@ -1,0 +1,155 @@
+"""The log-linear latency histogram: buckets, percentiles, merging.
+
+The histogram is the mergeable core of the observability layer, so
+the properties that make merging *exact* — counts are plain integer
+addition, bucket geometry is fixed — are tested both directly and as
+hypothesis properties (associativity, commutativity, and equivalence
+with recording the concatenated sample).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    SUB_BUCKETS, LatencyHistogram, bucket_bounds, bucket_index,
+    bucket_midpoint,
+)
+
+#: Upper bound on a bucket's relative width: consecutive bucket
+#: boundaries are a factor of 2**(1/32) apart, so any value in a
+#: bucket is within ~3.125% of the bucket midpoint.
+RELATIVE_ERROR = 1.0 / SUB_BUCKETS
+
+
+def exact_percentile(samples, frac):
+    """Nearest-rank percentile over raw samples (matches lattester)."""
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(len(ordered) * frac))
+    return ordered[rank - 1]
+
+
+class TestBucketGeometry:
+    def test_zero_and_negative_map_to_zero_bucket(self):
+        assert bucket_index(0.0) == bucket_index(-5.0)
+        assert bucket_midpoint(bucket_index(0.0)) == 0.0
+
+    def test_value_lands_inside_its_bounds(self):
+        for value in (1e-6, 0.4, 1.0, 3.7, 128.0, 99999.5, 1e12):
+            lo, hi = bucket_bounds(bucket_index(value))
+            assert lo <= value < hi
+
+    def test_bounds_are_tight(self):
+        # Buckets subdivide each octave linearly: width is at most
+        # lo/SUB_BUCKETS, i.e. ~3.125% relative resolution.
+        for value in (1.0, 77.7, 100.0, 5e8):
+            lo, hi = bucket_bounds(bucket_index(value))
+            assert 1.0 < hi / lo <= 1.0 + 1.0 / SUB_BUCKETS
+
+    def test_midpoint_within_relative_error_of_any_member(self):
+        for value in (0.001, 1.0, 77.7, 12345.0):
+            mid = bucket_midpoint(bucket_index(value))
+            assert abs(mid - value) / value <= RELATIVE_ERROR
+
+    def test_indexes_are_monotone_in_value(self):
+        values = [1.5 ** k for k in range(-20, 40)]
+        indexes = [bucket_index(v) for v in values]
+        assert indexes == sorted(indexes)
+
+
+class TestRecording:
+    def test_record_and_total(self):
+        hist = LatencyHistogram()
+        hist.record(10.0)
+        hist.record(10.0)
+        hist.record(2000.0)
+        assert hist.total() == 3
+        assert len(hist) == 2
+
+    def test_record_many_matches_record(self):
+        values = [0.0, 3.5, 3.5, 700.0, 1e9, -1.0]
+        one = LatencyHistogram()
+        for v in values:
+            one.record(v)
+        many = LatencyHistogram()
+        many.record_many(values)
+        assert one == many
+
+    def test_percentile_of_empty_is_zero(self):
+        assert LatencyHistogram().percentile(0.99) == 0.0
+
+    def test_percentile_within_bucket_error(self):
+        samples = [12.0, 15.0, 100.0, 101.0, 140.0, 9000.0] * 40
+        hist = LatencyHistogram()
+        hist.record_many(samples)
+        for frac in (0.5, 0.95, 0.99):
+            exact = exact_percentile(samples, frac)
+            approx = hist.percentile(frac)
+            assert abs(approx - exact) / exact <= RELATIVE_ERROR
+
+    def test_max_value_upper_bounds_the_samples(self):
+        hist = LatencyHistogram()
+        hist.record_many([1.0, 250.0])
+        assert hist.max_value() >= 250.0
+        assert hist.max_value() <= 250.0 * (1 + RELATIVE_ERROR)
+
+    def test_roundtrip_to_dict(self):
+        hist = LatencyHistogram()
+        hist.record_many([5.0, 5.0, 80.5, 0.0])
+        clone = LatencyHistogram.from_dict(hist.to_dict())
+        assert clone == hist
+
+    def test_from_dict_rejects_foreign_geometry(self):
+        blob = LatencyHistogram().to_dict()
+        blob["sub_buckets"] = 16
+        with pytest.raises(ValueError, match="sub_buckets"):
+            LatencyHistogram.from_dict(blob)
+
+
+latency_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    max_size=50)
+
+
+class TestMergeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(latency_lists, latency_lists)
+    def test_merge_equals_concatenation(self, a, b):
+        ha = LatencyHistogram()
+        ha.record_many(a)
+        hb = LatencyHistogram()
+        hb.record_many(b)
+        merged = ha.copy().merge(hb)
+        concat = LatencyHistogram()
+        concat.record_many(a + b)
+        assert merged == concat
+
+    @settings(max_examples=50, deadline=None)
+    @given(latency_lists, latency_lists)
+    def test_merge_is_commutative(self, a, b):
+        ha = LatencyHistogram()
+        ha.record_many(a)
+        hb = LatencyHistogram()
+        hb.record_many(b)
+        assert ha.copy().merge(hb) == hb.copy().merge(ha)
+
+    @settings(max_examples=50, deadline=None)
+    @given(latency_lists, latency_lists, latency_lists)
+    def test_merge_is_associative(self, a, b, c):
+        def h(values):
+            hist = LatencyHistogram()
+            hist.record_many(values)
+            return hist
+        left = h(a).merge(h(b)).merge(h(c))
+        right = h(a).merge(h(b).merge(h(c)))
+        assert left == right
+
+    @settings(max_examples=50, deadline=None)
+    @given(latency_lists)
+    def test_merge_preserves_total(self, a):
+        ha = LatencyHistogram()
+        ha.record_many(a)
+        doubled = ha.copy().merge(ha)
+        assert doubled.total() == 2 * len(a)

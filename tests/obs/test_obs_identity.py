@@ -1,0 +1,126 @@
+"""Recording rides along without changing anything it observes.
+
+Three invariants: (1) an attached recorder leaves the serving reports
+byte-identical to recording-off runs, (2) the substrate fast paths
+stay fused (``_plain`` true) with recording on, and (3) the recorded
+blob itself is byte-identical between the fast and reference
+execution paths — observability must not fork determinism.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import ObsRecorder
+from repro.sim.engine import set_fastpath
+from repro.sim.platform import Machine
+from repro.workloads import closed_loop, get_workload, make_service, open_loop
+
+QUICK = dict(records=96, ops=240)
+
+
+def as_bytes(data):
+    return json.dumps(data, sort_keys=True).encode()
+
+
+def run_closed(substrate, obs=None, workload="ycsb-a", seed=0):
+    spec = get_workload(workload)
+    machine = Machine()
+    service = make_service(substrate, machine, spec, seed=seed, **QUICK)
+    report = closed_loop(machine, service, spec, clients=3, seed=seed,
+                         obs=obs, **QUICK)
+    return report, machine
+
+
+def run_open(substrate, obs=None, workload="ycsb-b", seed=0):
+    spec = get_workload(workload)
+    machine = Machine()
+    service = make_service(substrate, machine, spec, seed=seed, **QUICK)
+    report = open_loop(machine, service, spec, rate_kops=400.0,
+                       workers=2, seed=seed, obs=obs, **QUICK)
+    return report, machine
+
+
+@pytest.fixture
+def both_paths():
+    def run_both(thunk):
+        prior = set_fastpath(True)
+        try:
+            fast = thunk()
+            set_fastpath(False)
+            reference = thunk()
+        finally:
+            set_fastpath(prior)
+        return fast, reference
+    return run_both
+
+
+class TestRecordingChangesNothing:
+    @pytest.mark.parametrize("runner", [run_closed, run_open])
+    def test_report_identical_with_and_without_obs(self, runner):
+        plain, _ = runner("lsm")
+        observed, _ = runner("lsm", obs=ObsRecorder("lsm"))
+        assert as_bytes(plain) == as_bytes(observed)
+
+    @pytest.mark.parametrize("runner", [run_closed, run_open])
+    def test_fast_paths_stay_fused(self, runner):
+        _, machine = runner("lsm", obs=ObsRecorder("lsm"))
+        assert all(ns._plain for ns in machine.namespaces())
+
+
+class TestRecordingIsPathIndependent:
+    @pytest.mark.parametrize("substrate", ("lsm", "pmemkv", "nova",
+                                           "pmdk"))
+    def test_closed_blob_byte_identical(self, substrate, both_paths):
+        def thunk():
+            obs = ObsRecorder(substrate)
+            run_closed(substrate, obs=obs)
+            return obs.to_dict()
+        fast, reference = both_paths(thunk)
+        assert as_bytes(fast) == as_bytes(reference)
+
+    def test_open_blob_byte_identical(self, both_paths):
+        def thunk():
+            obs = ObsRecorder("pmemkv")
+            run_open("pmemkv", obs=obs)
+            return obs.to_dict()
+        fast, reference = both_paths(thunk)
+        assert as_bytes(fast) == as_bytes(reference)
+
+
+class TestRequestGranularity:
+    def test_closed_loop_records_one_sample_per_request(self):
+        # thread.latencies also carries per-cache-line entries; the
+        # recorder must see exactly one latency per *request*.
+        obs = ObsRecorder("lsm")
+        report, _ = run_closed("lsm", obs=obs)
+        assert obs.hist.total() == QUICK["ops"]
+        assert sum(w[0] for w in obs.windows.values()) == QUICK["ops"]
+        assert sum(obs.ops[op]["ok"] for op in obs.ops) == QUICK["ops"]
+
+    def test_open_loop_records_one_sample_per_request(self):
+        obs = ObsRecorder("lsm")
+        run_open("lsm", obs=obs)
+        assert obs.hist.total() == QUICK["ops"]
+
+    def test_recorded_p99_tracks_exact_request_percentile(self):
+        # Capture the exact per-request latencies through a shim and
+        # check the histogram p99 lands within one bucket's relative
+        # error (1/32) of the nearest-rank exact value.
+        exact = []
+
+        class Shim(ObsRecorder):
+            def ingest(self, latencies_ns, end_ts_ns):
+                exact.extend(latencies_ns)
+                ObsRecorder.ingest(self, latencies_ns, end_ts_ns)
+
+        obs = Shim("lsm")
+        run_closed("lsm", obs=obs)
+        assert len(exact) == QUICK["ops"]
+        ordered = sorted(exact)
+        for frac in (0.5, 0.95, 0.99):
+            rank = max(1, math.ceil(len(ordered) * frac))
+            truth = ordered[rank - 1]
+            approx = obs.hist.percentile(frac)
+            assert abs(approx - truth) <= truth / 32.0

@@ -1,0 +1,147 @@
+"""The ``repro report`` verb and the report builder's determinism."""
+
+import json
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.harness import RunManifest
+from repro.obs import build_report, load_obs_blob, report_json, validate_obs
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path
+
+
+def quick_serve(out, jobs=1):
+    assert main(["serve", "ycsb-a", "lsm", "--quick",
+                 "--jobs", str(jobs), "--out", out]) == 0
+    return out + ".manifest.json"
+
+
+class TestReportVerb:
+    def test_renders_tables_json_and_html(self, cache_env, capsys):
+        manifest = quick_serve(str(cache_env / "serve.json"))
+        json_out = str(cache_env / "report.json")
+        html_out = str(cache_env / "report.html")
+        assert main(["report", manifest, "--json", json_out,
+                     "--html", html_out]) == 0
+        stdout = capsys.readouterr().out
+        assert "Latency and SLO burn per substrate" in stdout
+        assert "Latency vs load" in stdout
+        with open(json_out) as fh:
+            report = json.load(fh)
+        assert report["kind"] == "serve"
+        assert report["with_obs"] > 0
+        assert "lsm" in report["substrates"]
+        with open(html_out) as fh:
+            html = fh.read()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html          # self-contained, no external refs
+        assert "http" not in html.split("</style>")[-1]
+
+    def test_directory_target_renders_each_manifest(self, cache_env,
+                                                    capsys):
+        quick_serve(str(cache_env / "serve.json"))
+        assert main(["report", str(cache_env)]) == 0
+        assert "serve.json.manifest.json" in capsys.readouterr().out
+
+    def test_directory_target_refuses_json_flag(self, cache_env,
+                                                capsys):
+        quick_serve(str(cache_env / "serve.json"))
+        assert main(["report", str(cache_env),
+                     "--json", str(cache_env / "r.json")]) == 2
+        assert "single manifest" in capsys.readouterr().err
+
+    def test_missing_manifest_exits_2(self, cache_env, capsys):
+        assert main(["report", str(cache_env / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_obs_blobs_are_externalized_and_valid(self, cache_env,
+                                                  capsys):
+        manifest_path = quick_serve(str(cache_env / "serve.json"))
+        capsys.readouterr()
+        manifest = RunManifest.load(manifest_path)
+        refs = [p["obs"] for p in manifest.points if "obs" in p]
+        assert refs
+        for point in manifest.points:
+            if "obs" not in point:
+                continue
+            assert isinstance(point["obs"], str)    # ref, not blob
+            blob = load_obs_blob(point, str(cache_env))
+            assert validate_obs(blob) == []
+        # Content addressing: every ref resolves to a file that exists.
+        for ref in refs:
+            assert os.path.exists(os.path.join(str(cache_env), ref))
+
+
+class TestReportDeterminism:
+    def test_json_identical_across_job_counts(self, tmp_path,
+                                              monkeypatch, capsys):
+        outputs = []
+        for jobs, sub in ((1, "j1"), (2, "j2")):
+            monkeypatch.setenv("REPRO_CACHE_DIR",
+                               str(tmp_path / sub / "cache"))
+            os.makedirs(str(tmp_path / sub), exist_ok=True)
+            out = str(tmp_path / sub / "serve.json")
+            manifest = RunManifest.load(quick_serve(out, jobs=jobs))
+            report = build_report(manifest,
+                                  base_dir=str(tmp_path / sub))
+            outputs.append(report_json(report))
+        capsys.readouterr()
+        assert outputs[0] == outputs[1]
+
+    def test_serve_report_identical_with_obs_disabled(self, tmp_path,
+                                                      monkeypatch,
+                                                      capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c1"))
+        on = str(tmp_path / "on.json")
+        quick_serve(on)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c2"))
+        monkeypatch.setenv("REPRO_OBS", "0")
+        off = str(tmp_path / "off.json")
+        quick_serve(off)
+        capsys.readouterr()
+        with open(on, "rb") as fh:
+            a = fh.read()
+        with open(off, "rb") as fh:
+            b = fh.read()
+        assert a == b
+        # And with obs off there is nothing to report on.
+        manifest = RunManifest.load(off + ".manifest.json")
+        assert all("obs" not in p for p in manifest.points)
+
+
+class TestChaosReport:
+    def test_chaos_manifest_reports_timeline(self, cache_env, capsys):
+        out = str(cache_env / "chaos.json")
+        assert main(["serve", "ycsb-a", "lsm", "--chaos", "--quick",
+                     "--jobs", "1", "--out", out]) == 0
+        json_out = str(cache_env / "report.json")
+        assert main(["report", out + ".manifest.json",
+                     "--json", json_out]) == 0
+        stdout = capsys.readouterr().out
+        assert "Chaos cells" in stdout
+        with open(json_out) as fh:
+            report = json.load(fh)
+        assert report["kind"] == "chaos"
+        names = {ev["name"] for cell in report["cells"]
+                 for ev in cell["events"]}
+        assert any(name.startswith("chaos.") for name in names)
+        counters = report["substrates"]["lsm"]["counters"]
+        assert counters.get("result_ok", 0) > 0
+        assert counters.get("recoveries", 0) > 0
+
+
+class TestCompareWithObs:
+    def test_compare_folds_obs_percentiles_in(self, tmp_path,
+                                              monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        a = quick_serve(str(tmp_path / "a.json"))
+        b = quick_serve(str(tmp_path / "b.json"))
+        assert main(["compare", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "MATCH" in out or "match" in out

@@ -48,7 +48,29 @@ class TestChromeTrace:
         tr = Tracer(capacity=1, counter_interval_ns=None)
         tr.instant(1.0, "mem", "a")
         tr.instant(2.0, "mem", "b")
-        assert chrome_trace(tr)["otherData"]["dropped_events"] == 1
+        header = chrome_trace(tr)["otherData"]
+        assert header["dropped_events"] == 1
+        assert header["buffer_capacity"] == 1
+        assert header["complete"] is False
+
+    def test_complete_trace_header(self):
+        header = chrome_trace(small_tracer())["otherData"]
+        assert header["complete"] is True
+
+    def test_overflow_warns_on_write(self, tmp_path, capsys):
+        tr = Tracer(capacity=1, counter_interval_ns=None)
+        tr.instant(1.0, "mem", "a")
+        tr.instant(2.0, "mem", "b")
+        path = str(tmp_path / "t.json")
+        write_chrome_trace(tr, path)
+        err = capsys.readouterr().err
+        assert "WARNING" in err and "incomplete" in err
+        assert "1 event(s) dropped" in err
+        assert "--buffer" in err
+
+    def test_no_warning_when_complete(self, tmp_path, capsys):
+        write_chrome_trace(small_tracer(), str(tmp_path / "t.json"))
+        assert capsys.readouterr().err == ""
 
     def test_write_is_strict_sorted_json(self, tmp_path):
         path = str(tmp_path / "t.json")
